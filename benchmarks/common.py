@@ -1,0 +1,62 @@
+"""Shared benchmark plumbing.
+
+Every module in this directory regenerates one of the paper's tables or
+figures: it runs the simulator at a scaled-down operation count (recorded
+in EXPERIMENTS.md), prints the same rows/series the paper reports, and
+saves the text into ``benchmarks/results/``.
+
+Scale knobs:
+
+* ``REPRO_BENCH_THREADS`` — comma-separated thread ladder
+  (default ``1,8,32,128`` as in the paper's figures).
+* ``REPRO_BENCH_SCALE`` — multiplies every workload's operation count
+  (default 1; raise it on fast machines for smoother curves).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def thread_ladder() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_THREADS", "1,8,32,128")
+    return [int(x) for x in raw.split(",") if x]
+
+
+def scale(n: int) -> int:
+    return max(1, int(n * float(os.environ.get("REPRO_BENCH_SCALE", "1"))))
+
+
+def save_and_print(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+
+
+def format_speedup_table(curves: Dict[str, Dict[int, float]],
+                         title: str) -> str:
+    threads = sorted(next(iter(curves.values())).keys())
+    lines = [title, "threads   " + "".join(f"{t:>10}" for t in threads)]
+    for series, points in curves.items():
+        row = "".join(f"{points[t]:>10.2f}" for t in threads)
+        lines.append(f"{series:<10}" + row)
+    return "\n".join(lines)
+
+
+def format_breakdown_table(rows: Dict[str, Dict[str, float]],
+                           title: str, columns: Iterable[str]) -> str:
+    columns = list(columns)
+    lines = [title, "config        " + "".join(f"{c:>26}" for c in columns)]
+    for name, values in rows.items():
+        row = "".join(f"{values.get(c, 0):>26.3f}" for c in columns)
+        lines.append(f"{name:<14}" + row)
+    return "\n".join(lines)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

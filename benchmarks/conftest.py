@@ -1,0 +1,49 @@
+"""Session-scoped cache of full-application runs.
+
+Figures 16 (speedups), 17 (cycle breakdowns), 18 (wasted-cycle breakdowns)
+and 19 (GET-request breakdowns) all derive from the same set of simulated
+runs; the cache ensures each (app, threads, system) point is simulated
+once per session.
+"""
+
+from __future__ import annotations
+
+import os
+import pytest
+
+from repro.harness import run_workload
+from repro.workloads.apps import boruvka, genome, kmeans, ssca2, vacation
+
+from .common import scale
+
+APP_BUILDERS = {
+    "boruvka": (boruvka.build, lambda: dict(num_nodes=scale(192))),
+    "kmeans": (kmeans.build,
+               lambda: dict(num_points=scale(512), clusters=8, iterations=3)),
+    "ssca2": (ssca2.build, lambda: dict(scale=8, edge_factor=4)),
+    "genome": (genome.build,
+               lambda: dict(num_segments=scale(2048), gene_length=1024)),
+    "vacation": (vacation.build,
+                 lambda: dict(num_tasks=scale(1536), relations=128)),
+}
+
+APP_NAMES = list(APP_BUILDERS)
+
+
+class AppRunCache:
+    def __init__(self):
+        self._cache = {}
+
+    def get(self, app: str, threads: int, commtm: bool):
+        key = (app, threads, commtm)
+        if key not in self._cache:
+            build, params = APP_BUILDERS[app]
+            self._cache[key] = run_workload(
+                build, threads, num_cores=128, commtm=commtm, **params()
+            )
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def app_runs():
+    return AppRunCache()

@@ -1,0 +1,52 @@
+"""Ablation: gather requests on/off (Sec. IV).
+
+Fig. 10 ablates gathers for reference counting; we extend the ablation to
+the other gather users: mixed linked-list dequeues, and genome/vacation's
+remaining-space counters (Table II's "Uses gather?" column).
+"""
+
+from repro.harness import run_workload
+from repro.workloads.apps import genome, vacation
+from repro.workloads.micro import linked_list, refcount
+
+from .common import run_once, save_and_print, scale
+
+THREADS = 64
+
+CASES = {
+    "refcount": (refcount.build, lambda: dict(total_ops=scale(8_000))),
+    "list_mixed": (linked_list.build,
+                   lambda: dict(total_ops=scale(2_000), enqueue_fraction=0.5,
+                                prefill=40 * THREADS)),
+    "genome": (genome.build,
+               lambda: dict(num_segments=scale(1024), gene_length=1024,
+                            initial_buckets=32)),
+    "vacation": (vacation.build,
+                 lambda: dict(num_tasks=scale(768), relations=128)),
+}
+
+
+def test_ablation_gather(benchmark):
+    def generate():
+        rows = {}
+        for name, (build, params) in CASES.items():
+            with_g = run_workload(build, THREADS, num_cores=128,
+                                  use_gather=True, **params())
+            without = run_workload(build, THREADS, num_cores=128,
+                                   use_gather=False, **params())
+            rows[name] = (with_g.cycles, without.cycles,
+                          with_g.stats.gathers, without.stats.reductions)
+        return rows
+
+    rows = run_once(benchmark, generate)
+    lines = [f"Gather ablation at {THREADS} threads",
+             f"{'workload':<12}{'cycles w/':>12}{'cycles w/o':>12}"
+             f"{'speedup':>9}{'gathers':>9}{'reductions w/o':>16}"]
+    for name, (cw, cwo, gathers, reductions) in rows.items():
+        lines.append(f"{name:<12}{cw:>12}{cwo:>12}{cwo / cw:>9.2f}"
+                     f"{gathers:>9}{reductions:>16}")
+    save_and_print("ablation_gather", "\n".join(lines))
+
+    # Gathers must pay off where the paper uses them.
+    cw, cwo, _g, _r = rows["refcount"]
+    assert cwo > cw, "refcount: gathers should win"

@@ -1,0 +1,44 @@
+"""Ablation: reduction-handler cost sensitivity (Sec. III-B4).
+
+The shadow thread merges one forwarded line at a time; its per-word cost
+determines how expensive reductions and gather merges are. Update-heavy
+workloads that rarely reduce (counter) should be insensitive; reduction-
+heavy ones (refcount without gathers) should degrade as the handler
+slows.
+"""
+
+from repro.harness import run_workload
+from repro.params import SystemConfig
+from repro.workloads.micro import counter, refcount
+
+from .common import run_once, save_and_print, scale
+
+THREADS = 32
+COSTS = (1, 2, 8, 32)
+
+
+def test_ablation_reduction_cost(benchmark):
+    def generate():
+        rows = {}
+        for cost in COSTS:
+            cfg = SystemConfig(num_cores=128,
+                               reduction_cycles_per_word=cost)
+            cnt = run_workload(counter.build, THREADS,
+                               base_config=cfg, total_ops=scale(4_000))
+            ref = run_workload(refcount.build, THREADS, base_config=cfg,
+                               total_ops=scale(6_000), use_gather=False)
+            rows[cost] = (cnt.cycles, ref.cycles)
+        return rows
+
+    rows = run_once(benchmark, generate)
+    lines = [f"Reduction-cost ablation at {THREADS} threads",
+             f"{'cycles/word':<14}{'counter':>12}{'refcount w/o gather':>22}"]
+    for cost, (c_cnt, c_ref) in rows.items():
+        lines.append(f"{cost:<14}{c_cnt:>12}{c_ref:>22}")
+    save_and_print("ablation_reduction_cost", "\n".join(lines))
+
+    # Counter: commutative updates never reduce mid-run -> insensitive.
+    counter_cycles = [rows[c][0] for c in COSTS]
+    assert max(counter_cycles) < 1.3 * min(counter_cycles)
+    # Refcount without gathers reduces constantly -> cost matters.
+    assert rows[COSTS[-1]][1] > rows[COSTS[0]][1]

@@ -1,0 +1,29 @@
+"""Fig. 9: speedup of the counter microbenchmark.
+
+Paper: CommTM achieves linear scalability; the baseline HTM serializes all
+transactions (flat at/below 1x). Paper runs 10M increments; ours are scaled
+(see EXPERIMENTS.md) — speedups are cost ratios and saturate early.
+"""
+
+from repro.harness import speedup_curve
+from repro.workloads.micro import counter
+
+from .common import format_speedup_table, run_once, save_and_print, scale, thread_ladder
+
+
+def test_fig09_counter_speedup(benchmark):
+    threads = thread_ladder()
+
+    def generate():
+        return speedup_curve(counter.build, threads, num_cores=128,
+                             total_ops=scale(10_000))
+
+    curves = run_once(benchmark, generate)
+    save_and_print(
+        "fig09_counter",
+        format_speedup_table(curves, "Fig. 9 — counter increments"),
+    )
+    top = max(threads)
+    # Shape checks: CommTM near-linear, baseline serialized.
+    assert curves["CommTM"][top] > 0.6 * top
+    assert curves["Baseline"][top] < 2.0

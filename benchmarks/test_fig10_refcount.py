@@ -1,0 +1,36 @@
+"""Fig. 10: speedup of the reference-counting microbenchmark.
+
+Paper: CommTM with gather requests scales to 39x at 128 threads
+(sub-linear from gather/split frequency); without gathers, frequent
+reductions serialize; the baseline is flat.
+"""
+
+from repro.harness import speedup_curve
+from repro.workloads.micro import refcount
+
+from .common import format_speedup_table, run_once, save_and_print, scale, thread_ladder
+
+SYSTEMS = {
+    "CommTM w/ gather": {"commtm": True, "gather": True},
+    "CommTM w/o gather": {"commtm": True, "use_gather": False},
+    "Baseline": {"commtm": False},
+}
+
+
+def test_fig10_refcount_speedup(benchmark):
+    threads = thread_ladder()
+
+    def generate():
+        return speedup_curve(refcount.build, threads, num_cores=128,
+                             systems=SYSTEMS, total_ops=scale(16_000))
+
+    curves = run_once(benchmark, generate)
+    save_and_print(
+        "fig10_refcount",
+        format_speedup_table(curves, "Fig. 10 — reference counting"),
+    )
+    top = max(threads)
+    assert curves["CommTM w/ gather"][top] > \
+        2 * curves["CommTM w/o gather"][top]
+    assert curves["CommTM w/ gather"][top] > 3 * curves["Baseline"][top]
+    assert curves["Baseline"][top] < 3.0

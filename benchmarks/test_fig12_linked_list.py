@@ -1,0 +1,51 @@
+"""Fig. 12: speedup of the linked-list microbenchmark.
+
+(a) 100% enqueues: CommTM near-linear, baseline flat.
+(b) 50% enqueues / 50% dequeues: CommTM ~55x at 128 (gather-limited).
+
+The mixed run prefixes the list with 40 elements per thread (the paper's
+10M-op random walk keeps lists long; short scaled runs must not start at
+the empty-list singularity).
+"""
+
+from repro.harness import speedup_curve
+from repro.workloads.micro import linked_list
+
+from .common import format_speedup_table, run_once, save_and_print, scale, thread_ladder
+
+
+def test_fig12a_enqueue_only(benchmark):
+    threads = thread_ladder()
+
+    def generate():
+        return speedup_curve(linked_list.build, threads, num_cores=128,
+                             total_ops=scale(2_000), enqueue_fraction=1.0)
+
+    curves = run_once(benchmark, generate)
+    save_and_print(
+        "fig12a_linked_list_enqueue",
+        format_speedup_table(curves, "Fig. 12a — linked list, 100% enqueues"),
+    )
+    top = max(threads)
+    assert curves["CommTM"][top] > 0.5 * top
+    assert curves["Baseline"][top] < 2.0
+
+
+def test_fig12b_mixed(benchmark):
+    threads = thread_ladder()
+    prefill = 40 * max(threads)
+
+    def generate():
+        return speedup_curve(linked_list.build, threads, num_cores=128,
+                             total_ops=scale(2_000), enqueue_fraction=0.5,
+                             prefill=prefill)
+
+    curves = run_once(benchmark, generate)
+    save_and_print(
+        "fig12b_linked_list_mixed",
+        format_speedup_table(
+            curves, "Fig. 12b — linked list, 50% enqueues / 50% dequeues"),
+    )
+    top = max(threads)
+    assert curves["CommTM"][top] > 5 * curves["Baseline"][top]
+    assert curves["Baseline"][top] < 2.0

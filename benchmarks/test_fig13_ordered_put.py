@@ -1,0 +1,30 @@
+"""Fig. 13: speedup of the ordered-put microbenchmark.
+
+Paper: CommTM scales near-linearly; the baseline partially scales (to 31x
+at 128 — only smaller keys cause conflicting writes) leaving a 3.8x gap.
+"""
+
+from repro.harness import speedup_curve
+from repro.workloads.micro import ordered_put
+
+from .common import format_speedup_table, run_once, save_and_print, scale, thread_ladder
+
+
+def test_fig13_ordered_put(benchmark):
+    threads = thread_ladder()
+
+    def generate():
+        return speedup_curve(ordered_put.build, threads, num_cores=128,
+                             total_ops=scale(10_000))
+
+    curves = run_once(benchmark, generate)
+    save_and_print(
+        "fig13_ordered_put",
+        format_speedup_table(curves, "Fig. 13 — ordered puts"),
+    )
+    top = max(threads)
+    assert curves["CommTM"][top] > 0.6 * top
+    # The baseline partially scales — clearly above the counter's flatline
+    # but clearly below CommTM.
+    assert curves["Baseline"][top] > 1.0
+    assert curves["CommTM"][top] > 3 * curves["Baseline"][top]

@@ -1,0 +1,29 @@
+"""Fig. 14: speedup of top-K insertion.
+
+Paper: inserting 10M elements into a top-1000 set; baseline serializes on
+superfluous read-write dependencies, CommTM scales to 124x at 128 threads.
+Ours: scaled op count and K (the merge is O(K); behaviour is K-independent
+once K << inserts).
+"""
+
+from repro.harness import speedup_curve
+from repro.workloads.micro import topk
+
+from .common import format_speedup_table, run_once, save_and_print, scale, thread_ladder
+
+
+def test_fig14_topk(benchmark):
+    threads = thread_ladder()
+
+    def generate():
+        return speedup_curve(topk.build, threads, num_cores=128,
+                             total_ops=scale(10_000), k=100)
+
+    curves = run_once(benchmark, generate)
+    save_and_print(
+        "fig14_topk",
+        format_speedup_table(curves, "Fig. 14 — top-K insertion (K=100)"),
+    )
+    top = max(threads)
+    assert curves["CommTM"][top] > 0.5 * top
+    assert curves["Baseline"][top] < 3.0

@@ -1,0 +1,43 @@
+"""Fig. 17: breakdown of core cycles (non-transactional / transactional
+committed / transactional aborted) for 8, 32, and 128 threads, normalized
+to the baseline at 8 threads.
+
+Paper: CommTM substantially reduces wasted (aborted) cycles — e.g. 25x on
+kmeans and all of them on boruvka at 128 threads — and reduces
+non-transactional cycles on high-reuse apps through U-state buffering.
+"""
+
+import pytest
+
+from .common import format_breakdown_table, run_once, save_and_print
+from .conftest import APP_NAMES
+
+THREADS = (8, 32, 128)
+COLUMNS = ("non_tx", "tx_committed", "tx_aborted")
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_fig17_cycle_breakdown(benchmark, app_runs, app):
+    def generate():
+        norm = sum(
+            app_runs.get(app, 8, False).stats.cycle_breakdown_totals().values()
+        )
+        rows = {}
+        for threads in THREADS:
+            for commtm in (False, True):
+                label = f"{'CommTM' if commtm else 'Baseline'}@{threads}"
+                totals = app_runs.get(app, threads, commtm).stats \
+                    .cycle_breakdown_totals()
+                rows[label] = {k: v / norm for k, v in totals.items()}
+        return rows
+
+    rows = run_once(benchmark, generate)
+    save_and_print(
+        f"fig17_{app}",
+        format_breakdown_table(
+            rows, f"Fig. 17 — {app} core-cycle breakdown "
+                  f"(normalized to Baseline@8)", COLUMNS),
+    )
+    # CommTM wastes fewer cycles than the baseline at the top thread count.
+    assert rows["CommTM@128"]["tx_aborted"] <= \
+        rows["Baseline@128"]["tx_aborted"]

@@ -1,0 +1,47 @@
+"""Fig. 18: breakdown of wasted (aborted-transaction) cycles by conflict
+cause, for 8/32/128 threads, normalized to the baseline at 8 threads.
+
+Paper: in the baseline, wasted cycles are almost always read-after-write
+dependency violations; CommTM eliminates the superfluous ones on apps with
+ample commutativity (boruvka, kmeans), and its remaining waste includes
+gather-after-labeled-access conflicts.
+"""
+
+import pytest
+
+from repro.sim.stats import WastedCause
+
+from .common import format_breakdown_table, run_once, save_and_print
+from .conftest import APP_NAMES
+
+THREADS = (8, 32, 128)
+COLUMNS = tuple(c.value for c in WastedCause)
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_fig18_wasted_breakdown(benchmark, app_runs, app):
+    def generate():
+        norm = max(1, app_runs.get(app, 8, False).stats.tx_aborted_cycles)
+        rows = {}
+        for threads in THREADS:
+            for commtm in (False, True):
+                label = f"{'CommTM' if commtm else 'Baseline'}@{threads}"
+                wasted = app_runs.get(app, threads, commtm).stats \
+                    .wasted_breakdown()
+                rows[label] = {k: v / norm for k, v in wasted.items()}
+        return rows
+
+    rows = run_once(benchmark, generate)
+    save_and_print(
+        f"fig18_{app}",
+        format_breakdown_table(
+            rows, f"Fig. 18 — {app} wasted-cycle breakdown "
+                  f"(normalized to Baseline@8)", COLUMNS),
+    )
+    # Baseline waste is dominated by read-after-write violations.
+    base = rows["Baseline@128"]
+    raw = base[WastedCause.READ_AFTER_WRITE.value]
+    if sum(base.values()) > 0:
+        assert raw >= 0.5 * sum(base.values())
+    # CommTM wastes less in total.
+    assert sum(rows["CommTM@128"].values()) <= sum(base.values())

@@ -1,0 +1,43 @@
+"""Fig. 19: breakdown of GET requests between the private L2s and the L3
+(GETS / GETX / GETU) for boruvka and kmeans, normalized to the baseline at
+8 threads.
+
+Paper: at 128 threads CommTM reduces L3 GET requests by 13% on boruvka and
+45% on kmeans — U-state lines buffer and coalesce commutative updates in
+the private caches.
+"""
+
+import pytest
+
+from .common import format_breakdown_table, run_once, save_and_print
+
+THREADS = (8, 32, 128)
+COLUMNS = ("GETS", "GETX", "GETU")
+APPS = ("boruvka", "kmeans")
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_fig19_get_requests(benchmark, app_runs, app):
+    def generate():
+        norm = max(1, app_runs.get(app, 8, False).stats.l3_get_requests)
+        rows = {}
+        for threads in THREADS:
+            for commtm in (False, True):
+                label = f"{'CommTM' if commtm else 'Baseline'}@{threads}"
+                stats = app_runs.get(app, threads, commtm).stats
+                rows[label] = {k: v / norm
+                               for k, v in stats.get_breakdown().items()}
+        return rows
+
+    rows = run_once(benchmark, generate)
+    save_and_print(
+        f"fig19_{app}",
+        format_breakdown_table(
+            rows, f"Fig. 19 — {app} GET requests between L2s and L3 "
+                  f"(normalized to Baseline@8)", COLUMNS),
+    )
+    commtm_total = sum(rows["CommTM@128"].values())
+    base_total = sum(rows["Baseline@128"].values())
+    assert commtm_total < base_total  # CommTM reduces L3 GET traffic
+    assert rows["Baseline@128"]["GETU"] == 0
+    assert rows["CommTM@128"]["GETU"] > 0

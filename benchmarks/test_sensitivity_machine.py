@@ -1,0 +1,64 @@
+"""Sensitivity: CommTM's benefit across machine parameters.
+
+Two sweeps the paper's fixed Table I machine cannot show:
+
+* **Core count** — CommTM's advantage on the contended counter grows with
+  the number of contending cores (the baseline's serialization deepens
+  while labeled updates stay local).
+* **NoC latency** — slower interconnects hurt the communication-bound
+  baseline much more than CommTM, whose steady-state labeled operations
+  generate no traffic at all.
+"""
+
+from repro.harness import run_workload
+from repro.params import NocConfig, SystemConfig
+from repro.workloads.micro import counter
+
+from .common import run_once, save_and_print, scale
+
+
+def test_sensitivity_core_count(benchmark):
+    def generate():
+        rows = {}
+        for cores in (16, 32, 64, 128):
+            commtm = run_workload(counter.build, cores, num_cores=cores,
+                                  commtm=True, total_ops=scale(2_000))
+            base = run_workload(counter.build, cores, num_cores=cores,
+                                commtm=False, total_ops=scale(2_000))
+            rows[cores] = (commtm.cycles, base.cycles)
+        return rows
+
+    rows = run_once(benchmark, generate)
+    lines = ["Core-count sensitivity — counter, all cores threaded",
+             f"{'cores':<8}{'CommTM':>12}{'Baseline':>12}{'advantage':>11}"]
+    for cores, (c, b) in rows.items():
+        lines.append(f"{cores:<8}{c:>12}{b:>12}{b / c:>11.1f}")
+    save_and_print("sensitivity_core_count", "\n".join(lines))
+    advantages = [b / c for c, b in rows.values()]
+    assert advantages[-1] > advantages[0]  # the gap grows with cores
+
+
+def test_sensitivity_noc_latency(benchmark):
+    def generate():
+        rows = {}
+        for router_cycles in (1, 2, 6, 12):
+            cfg = SystemConfig(
+                num_cores=128,
+                noc=NocConfig(router_cycles=router_cycles),
+            )
+            commtm = run_workload(counter.build, 32, base_config=cfg,
+                                  commtm=True, total_ops=scale(2_000))
+            base = run_workload(counter.build, 32, base_config=cfg,
+                                commtm=False, total_ops=scale(2_000))
+            rows[router_cycles] = (commtm.cycles, base.cycles)
+        return rows
+
+    rows = run_once(benchmark, generate)
+    lines = ["NoC-latency sensitivity — counter at 32 threads",
+             f"{'router cy':<11}{'CommTM':>12}{'Baseline':>12}{'advantage':>11}"]
+    for rc, (c, b) in rows.items():
+        lines.append(f"{rc:<11}{c:>12}{b:>12}{b / c:>11.1f}")
+    save_and_print("sensitivity_noc_latency", "\n".join(lines))
+    slow, fast = rows[12], rows[1]
+    # The baseline degrades more with a slower NoC than CommTM does.
+    assert slow[1] / fast[1] > slow[0] / fast[0]

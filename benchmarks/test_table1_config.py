@@ -1,0 +1,16 @@
+"""Table I: configuration of the simulated system."""
+
+from repro.params import SystemConfig
+
+from .common import run_once, save_and_print
+
+
+def test_table1_system_configuration(benchmark):
+    def generate():
+        cfg = SystemConfig()
+        return cfg.describe()
+
+    text = run_once(benchmark, generate)
+    save_and_print("table1_config", text)
+    assert "128 cores" in text
+    assert "64 MB shared" in text

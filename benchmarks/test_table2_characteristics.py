@@ -1,0 +1,69 @@
+"""Table II: benchmark characteristics — input sets, gather use, and the
+commutative operations of each application — plus the measured
+labeled-instruction fractions Sec. VII reports.
+"""
+
+from repro import Machine
+from repro.params import small_config
+
+from .common import run_once, save_and_print
+from .conftest import APP_BUILDERS, APP_NAMES
+
+#: Commutative operations per Table II.
+COMMUTATIVE_OPS = {
+    "boruvka": "min-weight edges (OPUT); component union (MIN); "
+               "edge marking (MAX); MST weight (ADD)",
+    "kmeans": "cluster centroid updates (ADD)",
+    "ssca2": "global graph metadata (ADD, MAX)",
+    "genome": "remaining-space counter of resizable hash table "
+              "(bounded ADD, gathers)",
+    "vacation": "remaining-space counters of resizable hash tables "
+                "(bounded ADD, gathers)",
+}
+
+USES_GATHER = {"boruvka": False, "kmeans": False, "ssca2": False,
+               "genome": True, "vacation": True}
+
+
+def test_table2_characteristics(benchmark, app_runs):
+    def generate():
+        lines = ["Table II — benchmark characteristics",
+                 f"{'app':<10}{'gather?':<9}{'labeled frac':<14}"
+                 f"commutative operations"]
+        for app in APP_NAMES:
+            run = app_runs.get(app, 8, True)
+            frac = run.stats.labeled_fraction
+            lines.append(
+                f"{app:<10}{'yes' if USES_GATHER[app] else 'no':<9}"
+                f"{frac:<14.2e}{COMMUTATIVE_OPS[app]}"
+            )
+        return "\n".join(lines)
+
+    text = run_once(benchmark, generate)
+    save_and_print("table2_characteristics", text)
+    # ssca2's labeled fraction must be by far the smallest (paper: 5.9e-7).
+    fractions = {
+        app: app_runs.get(app, 8, True).stats.labeled_fraction
+        for app in APP_NAMES
+    }
+    assert fractions["ssca2"] == min(fractions.values())
+    assert fractions["kmeans"] == max(fractions.values())
+
+
+def test_table2_labels_registered(benchmark):
+    """Each app registers exactly the labels Table II lists for it."""
+    def generate():
+        out = {}
+        for app in APP_NAMES:
+            build, params = APP_BUILDERS[app]
+            machine = Machine(small_config(num_cores=16))
+            build(machine, 4, **params())
+            out[app] = set(machine.labels.names())
+        return out
+
+    labels = run_once(benchmark, generate)
+    assert labels["boruvka"] >= {"OPUT", "MIN", "MAX", "ADD"}
+    assert labels["kmeans"] == {"ADD"}
+    assert labels["ssca2"] >= {"ADD", "MAX"}
+    assert "ADD" in labels["genome"]
+    assert "ADD" in labels["vacation"]

@@ -1,0 +1,59 @@
+"""Speculative loop parallelization (Sec. III-D "Other contexts").
+
+A loop with (a) a rare loop-carried dependence through a key-value map and
+(b) a reduction variable, parallelized with ordered transactions
+(thread-level speculation on top of the HTM). With CommTM, the reduction
+variable uses commutative ADD updates, so it no longer serializes the
+speculation; on the baseline every iteration conflicts on it.
+
+Run:  python examples/speculative_loop.py
+"""
+
+from repro import LabeledLoad, LabeledStore, Load, Machine, Store, SystemConfig, Work
+from repro.core.labels import add_label
+from repro.mem.address import WORD_BYTES
+from repro.runtime.ordered import parallel_for
+
+THREADS = 8
+ITERATIONS = 128
+CELLS = 32
+
+
+def run(commtm: bool):
+    machine = Machine(SystemConfig(num_cores=128, commtm_enabled=commtm))
+    ADD = machine.register_label(add_label())
+    cells = machine.alloc.alloc_words(CELLS)
+    total = machine.alloc.alloc_line()
+
+    def iteration(ctx, i):
+        # Loop body: read a cell, compute, write the next cell (a sparse
+        # loop-carried dependence), and accumulate into the reduction var.
+        src = cells + (i % CELLS) * WORD_BYTES
+        dst = cells + ((i * 7 + 1) % CELLS) * WORD_BYTES
+        value = yield Load(src)
+        yield Work(40)
+        yield Store(dst, value + i)
+        acc = yield LabeledLoad(total, ADD)
+        yield LabeledStore(total, ADD, acc + i)
+
+    bodies, region = parallel_for(machine, THREADS, ITERATIONS, iteration)
+    result = machine.run(bodies)
+    machine.flush_reducible()
+
+    name = "CommTM" if commtm else "Baseline HTM"
+    print(f"--- {name} ---")
+    print(f"  committed in order : token = "
+          f"{machine.read_word(region.token_addr)} / {ITERATIONS}")
+    print(f"  reduction variable : {machine.read_word(total)} "
+          f"(expected {sum(range(ITERATIONS))})")
+    print(f"  cycles             : {result.cycles:,}")
+    print(f"  aborts             : {result.stats.aborts}")
+    assert machine.read_word(total) == sum(range(ITERATIONS))
+    return result.cycles
+
+
+if __name__ == "__main__":
+    commtm_cycles = run(commtm=True)
+    baseline_cycles = run(commtm=False)
+    print(f"\nCommTM speedup on the speculative loop: "
+          f"{baseline_cycles / commtm_cycles:.2f}x")

@@ -1,0 +1,16 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in offline environments that lack the ``wheel`` package
+(``python setup.py develop`` / ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,53 @@
+"""CommTM reproduction: commutativity-aware hardware transactional memory.
+
+Reproduces Zhang, Chiu, Sanchez, "Exploiting Semantic Commutativity in
+Hardware Speculation", MICRO 2016, as an execution-driven multicore
+simulator with an eager-lazy HTM baseline and the CommTM coherence
+extensions (reducible U state, labeled memory operations, user-defined
+reductions, gather requests).
+
+Public API highlights:
+
+* :class:`~repro.params.SystemConfig` — the simulated system (Table I).
+* :class:`~repro.core.machine.Machine` — one simulated chip; run workloads.
+* :mod:`repro.runtime` — the operations workload coroutines yield.
+* :mod:`repro.core.labels` — user-defined labels, reductions, splitters.
+* :mod:`repro.datatypes` — commutative data types built on the API.
+* :mod:`repro.workloads` — the paper's microbenchmarks and applications.
+* :mod:`repro.harness` — experiment runner reproducing every figure/table.
+"""
+
+from .params import SystemConfig, CacheGeometry, NocConfig, small_config
+from .core.machine import Machine, MachineResult
+from .core.labels import Label, LabelRegistry, wordwise_label
+from .runtime.ops import (
+    Atomic,
+    LabeledLoad,
+    LabeledStore,
+    Load,
+    LoadGather,
+    Store,
+    Work,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "CacheGeometry",
+    "NocConfig",
+    "small_config",
+    "Machine",
+    "MachineResult",
+    "Label",
+    "LabelRegistry",
+    "wordwise_label",
+    "Load",
+    "Store",
+    "LabeledLoad",
+    "LabeledStore",
+    "LoadGather",
+    "Work",
+    "Atomic",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Coherence substrate: MESI + the CommTM user-defined reducible (U) state.
+
+The package implements the protocol of Sec. III-B: private caches with
+speculative (L1) and non-speculative (L2) copies, a full-map in-cache
+directory in the shared L3, the mesh NoC timing model, and the request
+handling for GETS/GETX/GETU including reductions and gather requests.
+"""
+
+from .states import State
+from .noc import Mesh
+from .messages import Requester, AccessResult
+from .cache import PrivateCache
+from .directory import Directory
+from .protocol import MemorySystem
+
+__all__ = [
+    "State",
+    "Mesh",
+    "Requester",
+    "AccessResult",
+    "PrivateCache",
+    "Directory",
+    "MemorySystem",
+]

@@ -1,0 +1,135 @@
+"""Private cache model (per-core L1 + L2).
+
+Data lives in one unified structure sized to the (inclusive) private L2;
+a separate LRU *L1 tracker* decides whether an access hits at L1 latency
+and models the paper's rule that evicting speculatively-accessed data from
+the L1 aborts the transaction. This keeps the protocol single-copy while
+preserving both the latency split and the capacity-abort behaviour.
+
+Capacity is modelled as a global LRU over lines (associativity conflicts are
+negligible for the evaluated footprints; the geometry's total line count is
+respected exactly).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from ..errors import ProtocolError
+from ..params import CacheGeometry
+from .line import CacheLine
+from .states import State
+
+
+class PrivateCache:
+    """One core's private cache hierarchy."""
+
+    def __init__(self, core: int, l1_geom: CacheGeometry,
+                 l2_geom: CacheGeometry):
+        self.core = core
+        self.l1_geom = l1_geom
+        self.l2_geom = l2_geom
+        self._lines: "OrderedDict[int, CacheLine]" = OrderedDict()
+        self._l1: "OrderedDict[int, None]" = OrderedDict()
+        #: Set by the memory system: called with the victim CacheLine when
+        #: capacity forces an eviction.
+        self.eviction_hook: Optional[Callable[[CacheLine], None]] = None
+        #: Called with (core, reason) when evicting a speculatively-accessed
+        #: line forces the current transaction to abort.
+        self.spec_eviction_hook: Optional[Callable[[int, str], None]] = None
+
+    # --- lookup -------------------------------------------------------------
+
+    def lookup(self, line: int) -> Optional[CacheLine]:
+        """Return the line if present (any state but I), else None.
+        Does not touch LRU order."""
+        entry = self._lines.get(line)
+        if entry is not None and entry.state is State.I:
+            return None
+        return entry
+
+    def touch(self, line: int) -> bool:
+        """Record an access for LRU purposes. Returns True if the access
+        hits in the L1 (latency modelling)."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+        l1_hit = line in self._l1
+        self._l1[line] = None
+        self._l1.move_to_end(line)
+        self._enforce_l1_capacity()
+        return l1_hit
+
+    def _enforce_l1_capacity(self) -> None:
+        capacity = self.l1_geom.num_lines
+        if capacity <= 0:
+            return
+        while len(self._l1) > capacity:
+            victim, _ = self._l1.popitem(last=False)
+            entry = self._lines.get(victim)
+            if entry is not None and entry.speculative:
+                # Evicting speculatively-accessed data from the L1 aborts
+                # the transaction (Sec. III-B1). Data itself stays in the
+                # private L2 (our unified store).
+                if self.spec_eviction_hook is not None:
+                    self.spec_eviction_hook(self.core, "l1-capacity")
+
+    # --- installation & eviction ---------------------------------------------
+
+    def install(self, entry: CacheLine) -> None:
+        """Insert or replace a line, evicting LRU victims if over capacity."""
+        self._lines[entry.line] = entry
+        self._lines.move_to_end(entry.line)
+        self.touch(entry.line)
+        self._enforce_l2_capacity()
+
+    def _enforce_l2_capacity(self) -> None:
+        capacity = self.l2_geom.num_lines
+        if capacity <= 0:
+            return
+        while len(self._lines) > capacity:
+            victim_no = next(iter(self._lines))
+            victim = self._lines[victim_no]
+            if victim.speculative and self.spec_eviction_hook is not None:
+                self.spec_eviction_hook(self.core, "l2-capacity")
+                # The abort's rollback cleared spec bits; fall through.
+            self.drop(victim_no)
+            if self.eviction_hook is not None and victim.state is not State.I:
+                self.eviction_hook(victim)
+
+    def drop(self, line: int) -> None:
+        """Remove a line without protocol actions (invalidation)."""
+        self._lines.pop(line, None)
+        self._l1.pop(line, None)
+
+    # --- speculative set management -------------------------------------------
+
+    def spec_lines(self) -> List[CacheLine]:
+        return [e for e in self._lines.values() if e.speculative]
+
+    def rollback_all(self) -> None:
+        """Abort path: restore non-speculative values everywhere."""
+        for entry in list(self._lines.values()):
+            if entry.speculative:
+                entry.rollback()
+
+    def commit_all(self) -> None:
+        """Commit path: mark all speculative lines non-speculative."""
+        for entry in self._lines.values():
+            if entry.speculative:
+                entry.commit()
+
+    # --- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def states(self) -> dict:
+        return {no: e.state for no, e in self._lines.items()}
+
+    def assert_invariants(self) -> None:
+        for no, entry in self._lines.items():
+            if entry.line != no:
+                raise ProtocolError(f"line number mismatch at {no}")
+            if entry.state is State.U and entry.label is None:
+                raise ProtocolError(f"unlabeled U line {no}")

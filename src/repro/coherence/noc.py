@@ -1,0 +1,48 @@
+"""On-chip network timing model.
+
+Table I: 4x4 mesh, 2-cycle routers, 1-cycle 256-bit links. We model
+latency as hops * (router + link) with one extra router at the destination,
+which is the standard first-order model for wormhole meshes. The extra
+virtual network CommTM dedicates to forwarded U-state data (Sec. III-B4)
+avoids protocol deadlock; in our atomic-operation simulation deadlock cannot
+arise, so the virtual network's only observable effect is that forwards are
+counted as traffic, which we do in the stats.
+"""
+
+from __future__ import annotations
+
+from ..params import NocConfig
+
+
+class Mesh:
+    """2-D mesh distance/latency between tiles."""
+
+    def __init__(self, config: NocConfig):
+        self.config = config
+
+    def coords(self, tile: int):
+        return tile % self.config.mesh_width, tile // self.config.mesh_width
+
+    def hops(self, src_tile: int, dst_tile: int) -> int:
+        """Manhattan hop count between two tiles."""
+        sx, sy = self.coords(src_tile)
+        dx, dy = self.coords(dst_tile)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src_tile: int, dst_tile: int) -> int:
+        """One-way message latency in cycles."""
+        h = self.hops(src_tile, dst_tile)
+        c = self.config
+        # h links + (h+1) routers, including injection/ejection.
+        return h * c.link_cycles + (h + 1) * c.router_cycles
+
+    def round_trip(self, src_tile: int, dst_tile: int) -> int:
+        return 2 * self.latency(src_tile, dst_tile)
+
+    def max_latency_from(self, src_tile: int, dst_tiles) -> int:
+        """Latency of a broadcast that completes when the farthest
+        destination answers (invalidation fan-out)."""
+        worst = 0
+        for dst in dst_tiles:
+            worst = max(worst, self.latency(src_tile, dst))
+        return worst

@@ -1,0 +1,49 @@
+"""Coherence states: MESI plus the user-defined reducible state U.
+
+Fig. 3 of the paper shows the CommTM-MSI state machine; our implementation
+extends MESI (as the paper's evaluation does, Sec. III-D):
+
+* ``M`` — modified, exclusive, dirty; satisfies all requests.
+* ``E`` — exclusive clean; silently upgrades to M on a store.
+* ``S`` — shared read-only; satisfies conventional loads only.
+* ``U`` — user-defined reducible, tagged with a label; satisfies labeled
+  loads/stores with a matching label only. Multiple caches may hold U
+  copies of the same line with the same label.
+* ``I`` — invalid (absent lines are implicitly I).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class State(enum.Enum):
+    M = "M"
+    E = "E"
+    S = "S"
+    U = "U"
+    I = "I"  # noqa: E741 - standard MESI naming
+
+    @property
+    def can_read(self) -> bool:
+        """Can this state satisfy a conventional load locally?"""
+        return self in (State.M, State.E, State.S)
+
+    @property
+    def can_write(self) -> bool:
+        """Can this state satisfy a conventional store locally?
+        (E upgrades silently, so it counts.)"""
+        return self in (State.M, State.E)
+
+    @property
+    def is_exclusive(self) -> bool:
+        return self in (State.M, State.E)
+
+    def can_satisfy_labeled(self, line_label: object, req_label: object) -> bool:
+        """Can a line in this state satisfy a labeled access with
+        ``req_label``? M/E satisfy everything; U only matching labels."""
+        if self in (State.M, State.E):
+            return True
+        if self is State.U:
+            return line_label == req_label
+        return False

@@ -1,0 +1,12 @@
+"""CommTM core: labels, reductions, gather requests, and the machine facade.
+
+This package implements the paper's primary contribution (Secs. III and IV):
+the user-defined reducible (U) coherence state, labeled memory operations,
+transparent user-defined reductions, and gather requests with user-defined
+splitters.
+"""
+
+from .labels import Label, LabelRegistry, wordwise_label
+from .machine import Machine, MachineResult
+
+__all__ = ["Label", "LabelRegistry", "wordwise_label", "Machine", "MachineResult"]

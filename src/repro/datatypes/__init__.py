@@ -1,0 +1,35 @@
+"""Commutative data types built on the CommTM API.
+
+Each type packages a label (identity + reduction handler + optional
+splitter) with transactional operations written as generator functions, so
+workloads use them as ``yield Atomic(obj.op, args...)``.
+
+These are the structures the paper evaluates (Secs. VI-VII): shared
+counters, bounded non-negative counters (reference counting), concurrent
+linked lists (sets / work queues), ordered puts (priority updates), top-K
+sets, min/max cells, and resizable hash tables whose remaining-space
+counter is a bounded counter.
+"""
+
+from .counter import SharedCounter
+from .bounded_counter import BoundedCounter
+from .linked_list import ConcurrentLinkedList
+from .ordered_put import OrderedPutCell
+from .minmax import SharedMin, SharedMax
+from .topk import TopKSet
+from .hash_table import ResizableHashTable
+from .histogram import Histogram
+from .bloom_filter import BloomFilter
+
+__all__ = [
+    "BloomFilter",
+    "SharedCounter",
+    "BoundedCounter",
+    "ConcurrentLinkedList",
+    "OrderedPutCell",
+    "SharedMin",
+    "SharedMax",
+    "TopKSet",
+    "ResizableHashTable",
+    "Histogram",
+]

@@ -1,0 +1,69 @@
+"""Bounded non-negative counter (Sec. IV).
+
+``increment`` always commutes; ``decrement`` commutes only while the value
+is positive — a *conditionally commutative* operation. Three decrement
+strategies, exactly the paper's progression:
+
+1. Plain CommTM (no gather): if the local U-state value is zero, fall back
+   to a conventional read (full reduction) to check the true value. Under
+   frequent decrements the reductions serialize execution.
+2. With gather requests: a zero local value first tries ``load_gather``,
+   which redistributes the counter mass across sharers via the ADD
+   splitter (donate ``ceil(value / numSharers)``), staying in U.
+3. Baseline HTM: the same code, with labeled operations demoted to
+   conventional ones by ``commtm_enabled=False``.
+
+Use cases per the paper: reference counting, and the remaining-space
+counter of resizable data structures (genome/vacation, Table II).
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label, add_label
+from ..runtime.ops import LabeledLoad, LabeledStore, Load, LoadGather
+
+
+class BoundedCounter:
+    """A non-negative counter supporting increment/decrement."""
+
+    def __init__(self, machine, label: Label = None, initial: int = 0,
+                 use_gather: bool = True):
+        if initial < 0:
+            raise ValueError("bounded counter cannot start negative")
+        if label is None:
+            if "ADD" in machine.labels:
+                label = machine.labels.get("ADD")
+            else:
+                label = machine.register_label(add_label())
+        self.label = label
+        self.use_gather = use_gather
+        self.addr = machine.alloc.alloc_line()
+        if initial:
+            machine.seed_word(self.addr, initial)
+
+    def increment(self, ctx, delta: int = 1):
+        """Always-commutative increment."""
+        value = yield LabeledLoad(self.addr, self.label)
+        yield LabeledStore(self.addr, self.label, value + delta)
+        return True
+
+    def decrement(self, ctx):
+        """Decrement unless the counter is zero; returns False on failure.
+
+        Mirrors the paper's two-stage (or three-stage, with gathers)
+        decrement: local check, then gather, then full reduction.
+        """
+        value = yield LabeledLoad(self.addr, self.label)
+        if value == 0 and self.use_gather:
+            value = yield LoadGather(self.addr, self.label)
+        if value == 0:
+            # Trigger a full reduction to observe the true value.
+            value = yield Load(self.addr)
+            if value == 0:
+                return False
+        yield LabeledStore(self.addr, self.label, value - 1)
+        return True
+
+    def read(self, ctx):
+        value = yield Load(self.addr)
+        return value

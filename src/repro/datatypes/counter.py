@@ -1,0 +1,39 @@
+"""Shared counters with commutative addition (Sec. III-A).
+
+The simplest CommTM use case: threads buffer deltas in U-state lines under
+the ADD label; a conventional read triggers an additive reduction.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label, add_label
+from ..runtime.ops import LabeledLoad, LabeledStore, Load
+
+
+class SharedCounter:
+    """One shared integer counter.
+
+    ``label`` may be shared among many counters (they all commute under
+    addition); by default each machine gets a single ADD label.
+    """
+
+    def __init__(self, machine, label: Label = None, initial: int = 0):
+        if label is None:
+            if "ADD" in machine.labels:
+                label = machine.labels.get("ADD")
+            else:
+                label = machine.register_label(add_label())
+        self.label = label
+        self.addr = machine.alloc.alloc_line()
+        if initial:
+            machine.seed_word(self.addr, initial)
+
+    def add(self, ctx, delta: int = 1):
+        """Transactional commutative add (use inside/as an Atomic)."""
+        value = yield LabeledLoad(self.addr, self.label)
+        yield LabeledStore(self.addr, self.label, value + delta)
+
+    def read(self, ctx):
+        """Non-commutative read: triggers a reduction."""
+        value = yield Load(self.addr)
+        return value

@@ -1,0 +1,57 @@
+"""Histogram: many packed commutative counters (the paper's
+multiple-objects-per-line convention, Sec. III-A).
+
+Each 64-byte line holds eight bins under the ADD label; updates to any bin
+of any line commute, so threads increment bins concurrently with zero
+conflicts, and identity padding makes whole-line reductions safe even for
+partially-used lines. This is the pattern kmeans' centroid accumulators
+use, packaged as a reusable data type.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label, add_label
+from ..params import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
+from ..runtime.ops import LabeledLoad, LabeledStore, Load
+
+
+class Histogram:
+    """A fixed number of integer bins, incremented commutatively."""
+
+    def __init__(self, machine, num_bins: int, label: Label = None):
+        if num_bins <= 0:
+            raise ValueError("need at least one bin")
+        if label is None:
+            if "ADD" in machine.labels:
+                label = machine.labels.get("ADD")
+            else:
+                label = machine.register_label(add_label())
+        self.label = label
+        self.num_bins = num_bins
+        num_lines = -(-num_bins // WORDS_PER_LINE)
+        # Line-aligned so bins pack exactly eight per line.
+        self._base = machine.alloc.alloc(num_lines * LINE_BYTES,
+                                         align=LINE_BYTES)
+
+    def bin_addr(self, index: int) -> int:
+        if not 0 <= index < self.num_bins:
+            raise IndexError(f"bin {index} out of range")
+        return self._base + index * WORD_BYTES
+
+    # --- transactional operations -------------------------------------------
+
+    def add(self, ctx, index: int, delta: int = 1):
+        addr = self.bin_addr(index)
+        value = yield LabeledLoad(addr, self.label)
+        yield LabeledStore(addr, self.label, value + delta)
+
+    def read_bin(self, ctx, index: int):
+        value = yield Load(self.bin_addr(index))
+        return value
+
+    # --- host-side helpers -----------------------------------------------------
+
+    def snapshot(self, machine) -> list:
+        """All bin values (run flush_reducible() first)."""
+        return [machine.read_word(self.bin_addr(i))
+                for i in range(self.num_bins)]

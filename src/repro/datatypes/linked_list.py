@@ -1,0 +1,130 @@
+"""Concurrent singly-linked list with commutative enqueue/dequeue (Sec. VI).
+
+When element order is unimportant (sets, hash-table buckets, work-sharing
+queues), enqueues and dequeues are semantically — but not strictly —
+commutative. Only the list *descriptor* (head and tail pointer, one word,
+held as a ``(head_addr, tail_addr)`` tuple; 0 when empty) is accessed with
+labeled operations; element nodes use conventional loads and stores.
+
+Each U-state copy of the descriptor represents a *partial* linked list
+(Fig. 11). The reduction handler concatenates two partial lists by writing
+the first list's tail ``next`` pointer (a real, non-speculative memory
+write through the handler context). The splitter donates the head element,
+which lets dequeues proceed via gather requests when the local partial list
+is empty.
+
+Node layout: two words, ``[value, next_addr]`` (``next_addr`` 0 = null).
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label
+from ..errors import LabelError
+from ..params import WORD_BYTES
+from ..runtime.ops import LabeledLoad, LabeledStore, Load, LoadGather, Store
+
+EMPTY = 0  # identity descriptor
+
+
+def _list_label(name: str = "LIST") -> Label:
+    """Line-level label for linked-list descriptors."""
+
+    def reduce_line(hctx, dst, src):
+        out = []
+        for a, b in zip(dst, src):
+            out.append(_merge_descriptors(hctx, a, b))
+        return out
+
+    def split_line(hctx, words, num_sharers):
+        kept, donated = [], []
+        for desc in words:
+            k, d = _split_descriptor(hctx, desc)
+            kept.append(k)
+            donated.append(d)
+        return kept, donated
+
+    return Label(name, identity=EMPTY, reduce_line=reduce_line,
+                 split_line=split_line)
+
+
+def _merge_descriptors(hctx, a, b):
+    """Concatenate partial lists ``a`` then ``b`` (Fig. 11a)."""
+    if a == EMPTY:
+        return b
+    if b == EMPTY:
+        return a
+    a_head, a_tail = a
+    b_head, b_tail = b
+    hctx.write(a_tail + WORD_BYTES, b_head)  # a.tail.next = b.head
+    return (a_head, b_tail)
+
+
+def _split_descriptor(hctx, desc):
+    """Donate the head element (Fig. 11b): returns (kept, donated)."""
+    if desc == EMPTY:
+        return EMPTY, EMPTY
+    head, tail = desc
+    nxt = hctx.read(head + WORD_BYTES)
+    hctx.write(head + WORD_BYTES, 0)  # detach the donated node
+    kept = EMPTY if nxt == 0 else (nxt, tail)
+    return kept, (head, head)
+
+
+class ConcurrentLinkedList:
+    """A linked list used as an unordered set / work-sharing queue."""
+
+    def __init__(self, machine, label: Label = None, use_gather: bool = True):
+        if label is None:
+            if "LIST" in machine.labels:
+                label = machine.labels.get("LIST")
+            else:
+                label = machine.register_label(_list_label())
+        if label.identity != EMPTY:
+            raise LabelError("linked list label must have identity 0")
+        self.label = label
+        self.use_gather = use_gather
+        self.desc_addr = machine.alloc.alloc_line()
+
+    # --- transactional operations -------------------------------------------
+
+    def enqueue(self, ctx, value):
+        """Append ``value`` to this thread's partial list."""
+        node = ctx.thread_alloc_words(2)
+        yield Store(node, value)
+        yield Store(node + WORD_BYTES, 0)
+        desc = yield LabeledLoad(self.desc_addr, self.label)
+        if desc == EMPTY:
+            yield LabeledStore(self.desc_addr, self.label, (node, node))
+        else:
+            head, tail = desc
+            yield Store(tail + WORD_BYTES, node)
+            yield LabeledStore(self.desc_addr, self.label, (head, node))
+
+    def dequeue(self, ctx):
+        """Pop one element; returns ``None`` when the list is empty.
+
+        An empty local partial list first gathers (a splitter donates its
+        head element), then falls back to a full reduction.
+        """
+        desc = yield LabeledLoad(self.desc_addr, self.label)
+        if desc == EMPTY and self.use_gather:
+            desc = yield LoadGather(self.desc_addr, self.label)
+        if desc == EMPTY:
+            desc = yield Load(self.desc_addr)  # full reduction
+            if desc == EMPTY:
+                return None
+        head, tail = desc
+        value = yield Load(head)
+        nxt = yield Load(head + WORD_BYTES)
+        new_desc = EMPTY if nxt == 0 else (nxt, tail)
+        yield LabeledStore(self.desc_addr, self.label, new_desc)
+        return value
+
+    def drain(self, ctx):
+        """Read-only: pop everything (non-transactional helper pattern)."""
+        items = []
+        while True:
+            value = yield from self.dequeue(ctx)
+            if value is None:
+                return items
+            items.append(value)

@@ -1,0 +1,57 @@
+"""Commutative MIN/MAX cells (Table II: boruvka's component union uses
+64-bit MIN, edge marking uses 64-bit MAX)."""
+
+from __future__ import annotations
+
+from ..core.labels import Label, max_label, min_label
+from ..runtime.ops import LabeledLoad, LabeledStore, Load
+
+
+class SharedMin:
+    """Keeps the minimum of all values written to it."""
+
+    def __init__(self, machine, label: Label = None):
+        if label is None:
+            if "MIN" in machine.labels:
+                label = machine.labels.get("MIN")
+            else:
+                label = machine.register_label(min_label())
+        self.label = label
+        self.addr = machine.alloc.alloc_line()
+        machine.seed_word(self.addr, None)
+
+    def update(self, ctx, value):
+        current = yield LabeledLoad(self.addr, self.label)
+        if current is None or value < current:
+            yield LabeledStore(self.addr, self.label, value)
+            return True
+        return False
+
+    def read(self, ctx):
+        value = yield Load(self.addr)
+        return value
+
+
+class SharedMax:
+    """Keeps the maximum of all values written to it."""
+
+    def __init__(self, machine, label: Label = None):
+        if label is None:
+            if "MAX" in machine.labels:
+                label = machine.labels.get("MAX")
+            else:
+                label = machine.register_label(max_label())
+        self.label = label
+        self.addr = machine.alloc.alloc_line()
+        machine.seed_word(self.addr, None)
+
+    def update(self, ctx, value):
+        current = yield LabeledLoad(self.addr, self.label)
+        if current is None or value > current:
+            yield LabeledStore(self.addr, self.label, value)
+            return True
+        return False
+
+    def read(self, ctx):
+        value = yield Load(self.addr)
+        return value

@@ -1,0 +1,41 @@
+"""Ordered puts / priority updates (Sec. VI, Fig. 13).
+
+An ordered put replaces a key-value pair with a new pair if the new pair
+has a *lower* key — frequent in databases and central to priority-update
+parallel algorithms. Reordered puts are semantically commutative: the
+result is always the minimum-key pair. The cell word holds a
+``(key, value)`` tuple (or ``None``, the identity); the OPUT reduction
+keeps the lower-keyed pair.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label, oput_label
+from ..runtime.ops import LabeledLoad, LabeledStore, Load
+
+
+class OrderedPutCell:
+    """One key-value cell supporting priority updates."""
+
+    def __init__(self, machine, label: Label = None):
+        if label is None:
+            if "OPUT" in machine.labels:
+                label = machine.labels.get("OPUT")
+            else:
+                label = machine.register_label(oput_label())
+        self.label = label
+        self.addr = machine.alloc.alloc_line()
+        machine.seed_word(self.addr, None)
+
+    def put(self, ctx, key, value):
+        """Install (key, value) if ``key`` beats the current key."""
+        current = yield LabeledLoad(self.addr, self.label)
+        if current is None or current == 0 or key < current[0]:
+            yield LabeledStore(self.addr, self.label, (key, value))
+            return True
+        return False
+
+    def read(self, ctx):
+        """Non-commutative read of the winning pair (reduces)."""
+        pair = yield Load(self.addr)
+        return pair

@@ -1,0 +1,89 @@
+"""Top-K sets (Sec. VI, Figs. 14-15).
+
+A top-K set retains the K highest elements inserted into it. Insertions are
+semantically commutative: any insertion order yields the same final top-K.
+In the paper a descriptor points to a per-thread heap; only descriptor
+accesses are labeled, so threads build local top-K heaps and a read merges
+them (Fig. 15).
+
+Simulation note (documented in DESIGN.md): we collapse the heap indirection
+into the descriptor word, which holds the local heap as an immutable sorted
+tuple (ascending, so ``heap[0]`` is the eviction candidate). The protocol
+behaviour is identical — labeled descriptor accesses, identity = empty
+heap, K-way merge on reduction — and the heap's O(log K) update cost is
+charged explicitly with a ``Work`` operation, since node accesses in the
+paper hit thread-private data and cause no coherence traffic.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label
+from ..runtime.ops import LabeledLoad, LabeledStore, Load, Work
+
+EMPTY = ()
+
+
+def _merge_topk(a, b, k):
+    """Merge two ascending tuples, keeping the K largest."""
+    merged = sorted(a + b)
+    if len(merged) > k:
+        merged = merged[len(merged) - k:]
+    return tuple(merged)
+
+
+def topk_label(k: int, name: str = "TOPK") -> Label:
+    def reduce_line(hctx, dst, src):
+        return [
+            _merge_topk(a if a != 0 else EMPTY, b if b != 0 else EMPTY, k)
+            for a, b in zip(dst, src)
+        ]
+
+    return Label(name, identity=EMPTY, reduce_line=reduce_line)
+
+
+class TopKSet:
+    """Retains the K highest inserted elements."""
+
+    def __init__(self, machine, k: int, label: Label = None):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        if label is None:
+            name = "TOPK"
+            if name in machine.labels:
+                label = machine.labels.get(name)
+            else:
+                label = machine.register_label(topk_label(k, name))
+        self.label = label
+        self.addr = machine.alloc.alloc_line()
+        self._log2k = max(1, (k - 1).bit_length())
+
+    def insert(self, ctx, value):
+        """Insert into this thread's local top-K heap."""
+        heap = yield LabeledLoad(self.addr, self.label)
+        if heap == 0:
+            heap = EMPTY
+        if len(heap) < self.k:
+            yield Work(self._log2k)  # heap push
+            new_heap = _insert_sorted(heap, value)
+            yield LabeledStore(self.addr, self.label, new_heap)
+            return True
+        if value > heap[0]:
+            yield Work(self._log2k)  # heap pop + push
+            new_heap = _insert_sorted(heap[1:], value)
+            yield LabeledStore(self.addr, self.label, new_heap)
+            return True
+        return False
+
+    def read(self, ctx):
+        """Non-commutative read: merges all local heaps (Fig. 15)."""
+        heap = yield Load(self.addr)
+        return EMPTY if heap == 0 else heap
+
+
+def _insert_sorted(heap, value):
+    import bisect
+
+    lst = list(heap)
+    bisect.insort(lst, value)
+    return tuple(lst)

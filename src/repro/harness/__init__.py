@@ -1,0 +1,18 @@
+"""Experiment harness: run workloads across configurations, aggregate with
+confidence intervals, and print the paper's tables and figure series.
+
+``python -m repro.harness <experiment>`` regenerates any figure by name.
+"""
+
+from .confidence import CiResult, confidence_interval, run_until_confident
+from .runner import ExperimentResult, run_built, run_workload, speedup_curve
+
+__all__ = [
+    "CiResult",
+    "confidence_interval",
+    "run_until_confident",
+    "ExperimentResult",
+    "run_built",
+    "run_workload",
+    "speedup_curve",
+]

@@ -1,0 +1,49 @@
+"""CLI: regenerate any of the paper's experiments by name.
+
+Usage::
+
+    python -m repro.harness --list
+    python -m repro.harness fig09
+    python -m repro.harness fig16-kmeans --threads 1,8,32 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import list_experiments, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--threads", default="1,8,32,128",
+                        help="comma-separated thread ladder")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="operation-count multiplier")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("\n".join(list_experiments()))
+        return 0
+
+    threads = [int(x) for x in args.threads.split(",") if x]
+    try:
+        report = run_experiment(args.experiment, threads=threads,
+                                scale=args.scale)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

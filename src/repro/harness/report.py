@@ -1,0 +1,102 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are speedup curves and stacked-bar breakdowns; these
+helpers render both as ASCII so every experiment's output is readable in a
+terminal and diffable in version control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+#: Characters used for the per-series markers in ASCII charts.
+MARKERS = "o*x+#@%&"
+
+
+def render_speedup_chart(curves: Dict[str, Dict[int, float]],
+                         title: str = "", height: int = 16,
+                         width: int = 60) -> str:
+    """Render speedup-vs-threads curves as an ASCII chart.
+
+    The x axis is thread count (linear in rank, labelled with the actual
+    counts); the y axis is speedup, scaled to the maximum observed.
+    """
+    if not curves:
+        return title
+    threads = sorted(next(iter(curves.values())).keys())
+    max_speedup = max(max(series.values()) for series in curves.values())
+    max_speedup = max(max_speedup, 1.0)
+
+    grid = [[" "] * width for _ in range(height)]
+    xs = _spread(len(threads), width)
+
+    for index, (name, series) in enumerate(curves.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for rank, t in enumerate(threads):
+            y = series[t] / max_speedup
+            row = height - 1 - int(round(y * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][xs[rank]] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        level = max_speedup * (height - 1 - i) / (height - 1)
+        lines.append(f"{level:7.1f} |" + "".join(row))
+    axis = [" "] * width
+    labels = [" "] * width
+    for rank, t in enumerate(threads):
+        axis[xs[rank]] = "+"
+        text = str(t)
+        start = min(xs[rank], width - len(text))
+        for j, ch in enumerate(text):
+            labels[start + j] = ch
+    lines.append(" " * 8 + "+" + "".join(axis))
+    lines.append(" " * 9 + "".join(labels) + "  (threads)")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}"
+        for i, name in enumerate(curves)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_stacked_bars(rows: Dict[str, Dict[str, float]],
+                        columns: Sequence[str], title: str = "",
+                        width: int = 50) -> str:
+    """Render per-config stacked bars (Fig. 17/18/19 style).
+
+    Each row is one configuration; segment lengths are proportional to the
+    column values, all scaled to the largest row total.
+    """
+    if not rows:
+        return title
+    totals = {name: sum(values.get(c, 0) for c in columns)
+              for name, values in rows.items()}
+    biggest = max(totals.values()) or 1.0
+    seg_chars = "#=-.~^"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_w = max(len(n) for n in rows)
+    for name, values in rows.items():
+        bar = ""
+        for i, column in enumerate(columns):
+            frac = values.get(column, 0) / biggest
+            bar += seg_chars[i % len(seg_chars)] * int(round(frac * width))
+        lines.append(f"{name:<{name_w}} |{bar:<{width}}| "
+                     f"{totals[name]:.3f}")
+    legend = "   ".join(
+        f"{seg_chars[i % len(seg_chars)]} {c}" for i, c in enumerate(columns)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def _spread(n: int, width: int) -> List[int]:
+    """n column positions spread across [0, width)."""
+    if n == 1:
+        return [width // 2]
+    return [int(round(i * (width - 1) / (n - 1))) for i in range(n)]

@@ -1,0 +1,123 @@
+"""Experiment runner.
+
+The paper's figures report speedups relative to the single-thread runtime
+of the *baseline* HTM, at thread counts 1-128 on the Table I system.
+:func:`speedup_curve` reproduces that protocol: one baseline single-thread
+run fixes the denominator, then each (system, thread-count) point is a
+fresh machine running the same workload builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.machine import Machine, MachineResult
+from ..params import SystemConfig
+from ..sim.stats import Stats
+
+
+@dataclass
+class ExperimentResult:
+    """One simulated data point."""
+
+    name: str
+    num_threads: int
+    commtm: bool
+    cycles: int
+    stats: Stats
+    info: dict = field(default_factory=dict)
+
+
+def _make_config(num_cores: int, commtm: Optional[bool],
+                 gather: Optional[bool], seed: int,
+                 base_config: Optional[SystemConfig]) -> SystemConfig:
+    """Build the run's config. ``commtm``/``gather`` of None inherit the
+    base config's setting (or the defaults, True, without one)."""
+    if base_config is not None:
+        overrides = {"seed": seed}
+        if commtm is not None:
+            overrides["commtm_enabled"] = commtm
+        if gather is not None:
+            overrides["gather_enabled"] = gather
+        return base_config.replace(**overrides)
+    return SystemConfig(
+        num_cores=num_cores,
+        commtm_enabled=True if commtm is None else commtm,
+        gather_enabled=True if gather is None else gather,
+        seed=seed,
+    )
+
+
+def run_built(machine: Machine, built, verify: bool = True) -> ExperimentResult:
+    """Run an instantiated workload on its machine."""
+    result: MachineResult = machine.run(built.bodies)
+    if verify and built.verify is not None:
+        built.verify(machine)
+    return ExperimentResult(
+        name=built.name,
+        num_threads=len(built.bodies),
+        commtm=machine.config.commtm_enabled,
+        cycles=result.cycles,
+        stats=machine.stats,
+        info=dict(built.info),
+    )
+
+
+def run_workload(build: Callable, num_threads: int, *,
+                 num_cores: int = 128, commtm: Optional[bool] = None,
+                 gather: Optional[bool] = None, seed: int = 1,
+                 base_config: Optional[SystemConfig] = None,
+                 verify: bool = True, **params) -> ExperimentResult:
+    """Build and run one workload configuration on a fresh machine."""
+    config = _make_config(num_cores, commtm, gather, seed, base_config)
+    machine = Machine(config)
+    built = build(machine, num_threads, **params)
+    return run_built(machine, built, verify=verify)
+
+
+def speedup_curve(build: Callable, thread_counts: Iterable[int], *,
+                  num_cores: int = 128, systems: Dict[str, dict] = None,
+                  seed: int = 1, base_config: Optional[SystemConfig] = None,
+                  verify: bool = True,
+                  **params) -> Dict[str, Dict[int, float]]:
+    """Speedup series per system, normalized to 1-thread baseline cycles.
+
+    ``systems`` maps a series name to flags for :func:`run_workload`
+    (default: the paper's two systems, CommTM and the baseline HTM).
+    Returns ``{series: {threads: speedup}}``.
+    """
+    if systems is None:
+        systems = {
+            "CommTM": {"commtm": True},
+            "Baseline": {"commtm": False},
+        }
+    reference = run_workload(build, 1, num_cores=num_cores, commtm=False,
+                             seed=seed, base_config=base_config,
+                             verify=verify, **params)
+    base_cycles = reference.cycles
+
+    curves: Dict[str, Dict[int, float]] = {}
+    for series, flags in systems.items():
+        curves[series] = {}
+        for threads in thread_counts:
+            point = run_workload(build, threads, num_cores=num_cores,
+                                 seed=seed, base_config=base_config,
+                                 verify=verify, **{**flags, **params})
+            curves[series][threads] = base_cycles / point.cycles
+    return curves
+
+
+def collect_points(build: Callable, thread_counts: Iterable[int], *,
+                   num_cores: int = 128, commtm: Optional[bool] = None,
+                   gather: Optional[bool] = None, seed: int = 1,
+                   base_config: Optional[SystemConfig] = None,
+                   verify: bool = True,
+                   **params) -> List[ExperimentResult]:
+    """Full :class:`ExperimentResult` per thread count (for breakdowns)."""
+    return [
+        run_workload(build, threads, num_cores=num_cores, commtm=commtm,
+                     gather=gather, seed=seed, base_config=base_config,
+                     verify=verify, **params)
+        for threads in thread_counts
+    ]

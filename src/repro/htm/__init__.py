@@ -1,0 +1,14 @@
+"""Eager-lazy HTM baseline (Sec. III-B1) plus CommTM conflict extensions.
+
+Eager conflict detection through the coherence protocol, lazy (buffer-based)
+version management in the private caches, timestamp-based conflict
+resolution with NACKs, and randomized backoff — the LTM/TSX-style design
+the paper builds CommTM on.
+"""
+
+from .transaction import Transaction
+from .conflict import ConflictManager
+from .htm import HtmRuntime
+from .backoff import backoff_cycles
+
+__all__ = ["Transaction", "ConflictManager", "HtmRuntime", "backoff_cycles"]

@@ -1,0 +1,20 @@
+"""Randomized exponential backoff for aborted transactions.
+
+The baseline HTM resolves conflicts by timestamp (older wins), and aborted
+transactions "use randomized backoff to avoid livelock" (Sec. III-B1).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def backoff_cycles(rng: random.Random, attempts: int, base: int,
+                   maximum: int) -> int:
+    """Cycles to stall before retrying after the ``attempts``-th attempt
+    aborted. Uniform over an exponentially-growing, capped window."""
+    if base <= 0:
+        return 0
+    exponent = min(max(attempts - 1, 0), 20)
+    window = min(base << exponent, maximum)
+    return rng.randrange(window) + 1

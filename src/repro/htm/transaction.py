@@ -1,0 +1,45 @@
+"""Transaction state.
+
+Each transaction carries a unique timestamp used for conflict resolution
+(Sec. III-B3): on a conflict the earlier (lower-timestamp) transaction wins.
+A transaction keeps its timestamp across retries, which guarantees it
+eventually becomes the oldest in the system and commits — the livelock-
+freedom argument of LogTM-style conflict resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from ..sim.stats import WastedCause
+
+
+@dataclass
+class Transaction:
+    core: int
+    ts: int
+    attempts: int = 1
+    aborted: bool = False
+    abort_cause: Optional[WastedCause] = None
+    #: Lines written through lazy_store (lazy conflict detection only);
+    #: published at commit.
+    lazy_written: Set[int] = field(default_factory=set)
+    #: Set when an unlabeled access hit the transaction's own speculatively-
+    #: modified U-state data: on restart, labeled accesses execute as
+    #: conventional ones (Sec. III-B4).
+    labels_disabled: bool = False
+    #: Cycles charged to the core during the current attempt; reclassified
+    #: as wasted on abort (Fig. 17/18 accounting).
+    cycles_this_attempt: int = 0
+
+    def mark_aborted(self, cause: WastedCause) -> None:
+        self.aborted = True
+        self.abort_cause = cause
+
+    def reset_for_retry(self) -> None:
+        self.attempts += 1
+        self.aborted = False
+        self.abort_cause = None
+        self.cycles_this_attempt = 0
+        self.lazy_written.clear()

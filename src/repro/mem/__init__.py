@@ -1,0 +1,27 @@
+"""Memory substrate: addressing, backing store, and a bump allocator."""
+
+from .address import (
+    LINE_BYTES,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+    line_of,
+    word_index,
+    word_addr,
+    line_base,
+    aligned,
+)
+from .memory import MainMemory
+from .layout import Allocator
+
+__all__ = [
+    "LINE_BYTES",
+    "WORD_BYTES",
+    "WORDS_PER_LINE",
+    "line_of",
+    "word_index",
+    "word_addr",
+    "line_base",
+    "aligned",
+    "MainMemory",
+    "Allocator",
+]

@@ -1,0 +1,57 @@
+"""Word/line addressing helpers.
+
+Addresses are byte addresses (plain ints). Data is stored and moved at word
+granularity (8 bytes) within 64-byte cache lines, matching the paper's
+conventions: objects are aligned to object-size boundaries so that reduction
+handlers can blindly reduce a whole line (identity padding is a no-op).
+"""
+
+from __future__ import annotations
+
+from ..errors import MemoryError_
+from ..params import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
+
+__all__ = [
+    "LINE_BYTES",
+    "WORD_BYTES",
+    "WORDS_PER_LINE",
+    "line_of",
+    "word_index",
+    "word_addr",
+    "line_base",
+    "aligned",
+    "check_word_aligned",
+]
+
+
+def line_of(addr: int) -> int:
+    """Line number containing byte address ``addr``."""
+    return addr // LINE_BYTES
+
+
+def line_base(line: int) -> int:
+    """Byte address of the first byte of line number ``line``."""
+    return line * LINE_BYTES
+
+
+def word_index(addr: int) -> int:
+    """Index (0..7) of the word containing ``addr`` within its line."""
+    return (addr % LINE_BYTES) // WORD_BYTES
+
+
+def word_addr(line: int, index: int) -> int:
+    """Byte address of word ``index`` of line number ``line``."""
+    if not 0 <= index < WORDS_PER_LINE:
+        raise MemoryError_(f"word index {index} out of range")
+    return line_base(line) + index * WORD_BYTES
+
+
+def aligned(addr: int, boundary: int = WORD_BYTES) -> bool:
+    return addr % boundary == 0
+
+
+def check_word_aligned(addr: int) -> None:
+    if addr < 0:
+        raise MemoryError_(f"negative address {addr:#x}")
+    if addr % WORD_BYTES != 0:
+        raise MemoryError_(f"address {addr:#x} not {WORD_BYTES}-byte aligned")

@@ -1,0 +1,93 @@
+"""Address-space layout: a simple bump allocator.
+
+Workloads allocate shared objects before the parallel region and
+thread-private nodes during it (e.g. linked-list elements). Allocation is a
+host-side bookkeeping action — it costs no simulated cycles by itself; the
+stores that initialize the memory do.
+
+Per-thread arenas keep concurrent allocations deterministic and conflict-free
+(real programs use per-thread allocators for the same reason). Addresses
+leaked by aborted transactions are simply never reused, which is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import MemoryError_
+from ..params import LINE_BYTES, WORD_BYTES
+
+
+class Allocator:
+    """Bump allocator over a byte address space.
+
+    The shared arena starts at ``base``; each thread arena is a disjoint
+    high region sized ``thread_arena_bytes``.
+    """
+
+    def __init__(self, base: int = 0x1000,
+                 thread_arena_base: int = 0x4000_0000,
+                 thread_arena_bytes: int = 0x0100_0000):
+        self._next = base
+        self._thread_arena_base = thread_arena_base
+        self._thread_arena_bytes = thread_arena_bytes
+        self._thread_next: Dict[int, int] = {}
+
+    def alloc(self, nbytes: int, align: int = WORD_BYTES) -> int:
+        """Allocate ``nbytes`` in the shared arena, aligned to ``align``."""
+        if nbytes <= 0:
+            raise MemoryError_(f"invalid allocation size {nbytes}")
+        addr = _align_up(self._next, align)
+        self._next = addr + nbytes
+        if self._next > self._thread_arena_base:
+            raise MemoryError_("shared arena exhausted")
+        return addr
+
+    def alloc_line(self) -> int:
+        """Allocate one whole cache line (line-aligned)."""
+        return self.alloc(LINE_BYTES, align=LINE_BYTES)
+
+    def alloc_words(self, nwords: int, align_object: bool = True) -> int:
+        """Allocate ``nwords`` contiguous words.
+
+        With ``align_object`` (the paper's convention, Sec. III-A), the
+        object is aligned to its own size rounded up to a power of two, so
+        small objects never straddle lines.
+        """
+        nbytes = nwords * WORD_BYTES
+        align = WORD_BYTES
+        if align_object:
+            align = _next_pow2(min(nbytes, LINE_BYTES))
+        return self.alloc(nbytes, align=align)
+
+    def thread_alloc(self, thread_id: int, nbytes: int,
+                     align: int = WORD_BYTES) -> int:
+        """Allocate in ``thread_id``'s private arena."""
+        if nbytes <= 0:
+            raise MemoryError_(f"invalid allocation size {nbytes}")
+        base = self._thread_arena_base + thread_id * self._thread_arena_bytes
+        nxt = self._thread_next.get(thread_id, base)
+        addr = _align_up(nxt, align)
+        end = addr + nbytes
+        if end > base + self._thread_arena_bytes:
+            raise MemoryError_(f"thread arena {thread_id} exhausted")
+        self._thread_next[thread_id] = end
+        return addr
+
+    def thread_alloc_words(self, thread_id: int, nwords: int) -> int:
+        nbytes = nwords * WORD_BYTES
+        align = _next_pow2(min(nbytes, LINE_BYTES))
+        return self.thread_alloc(thread_id, nbytes, align=align)
+
+
+def _align_up(addr: int, align: int) -> int:
+    if align <= 0 or align & (align - 1):
+        raise MemoryError_(f"alignment {align} not a power of two")
+    return (addr + align - 1) & ~(align - 1)
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p

@@ -1,0 +1,55 @@
+"""Main-memory backing store.
+
+Memory is a sparse map from line number to a list of 8 word values. Words
+hold arbitrary (treated-as-immutable) Python values; numeric workloads store
+ints, descriptor-based structures (linked lists, top-K heaps) store small
+tuples. Unwritten words read as 0, like zero-filled pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .address import WORDS_PER_LINE, check_word_aligned, line_of, word_index
+
+
+class MainMemory:
+    """Sparse word-granularity memory."""
+
+    def __init__(self):
+        self._lines: Dict[int, List[object]] = {}
+
+    def _line(self, line: int) -> List[object]:
+        data = self._lines.get(line)
+        if data is None:
+            data = [0] * WORDS_PER_LINE
+            self._lines[line] = data
+        return data
+
+    def read_word(self, addr: int) -> object:
+        check_word_aligned(addr)
+        data = self._lines.get(line_of(addr))
+        if data is None:
+            return 0
+        return data[word_index(addr)]
+
+    def write_word(self, addr: int, value: object) -> None:
+        check_word_aligned(addr)
+        self._line(line_of(addr))[word_index(addr)] = value
+
+    def read_line(self, line: int) -> List[object]:
+        """Return a copy of the line's 8 words."""
+        data = self._lines.get(line)
+        if data is None:
+            return [0] * WORDS_PER_LINE
+        return list(data)
+
+    def write_line(self, line: int, words) -> None:
+        words = list(words)
+        if len(words) != WORDS_PER_LINE:
+            raise ValueError(f"line must have {WORDS_PER_LINE} words")
+        self._lines[line] = words
+
+    def touched_lines(self) -> int:
+        """Number of lines ever written (for tests/inspection)."""
+        return len(self._lines)

@@ -1,0 +1,24 @@
+"""Workload runtime: the operation vocabulary threads yield, and the
+per-thread context object."""
+
+from .ops import (
+    Load,
+    Store,
+    LabeledLoad,
+    LabeledStore,
+    LoadGather,
+    Work,
+    Atomic,
+)
+from .thread_api import ThreadCtx
+
+__all__ = [
+    "Load",
+    "Store",
+    "LabeledLoad",
+    "LabeledStore",
+    "LoadGather",
+    "Work",
+    "Atomic",
+    "ThreadCtx",
+]

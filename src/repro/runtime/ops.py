@@ -1,0 +1,106 @@
+"""Operations a workload coroutine can yield.
+
+Workloads are generator functions over a :class:`~repro.runtime.ThreadCtx`.
+Each ``yield``ed operation executes atomically at the protocol level and
+resumes the generator with its result:
+
+=================================== =======================================
+``value = yield Load(addr)``        conventional load
+``yield Store(addr, value)``        conventional store
+``value = yield LabeledLoad(a, L)`` labeled load (CommTM ISA, Sec. III-A)
+``yield LabeledStore(a, L, v)``     labeled store
+``value = yield LoadGather(a, L)``  gather request (Sec. IV)
+``yield Work(n)``                   n cycles of local computation
+``ret = yield Atomic(fn, *args)``   run ``fn(ctx, *args)`` as a transaction
+=================================== =======================================
+
+``Atomic`` is the transaction boundary: the engine begins a transaction,
+drives ``fn``'s generator, and commits at its return. On abort the generator
+is discarded and re-created after randomized backoff — exactly the replay
+semantics of hardware restart. A nested ``Atomic`` is flattened into its
+parent (closed nesting via subsumption, as in the paper's baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..core.labels import Label
+
+
+@dataclass(frozen=True)
+class Load:
+    addr: int
+
+
+@dataclass(frozen=True)
+class Store:
+    addr: int
+    value: object
+
+
+@dataclass(frozen=True)
+class LabeledLoad:
+    addr: int
+    label: Label
+
+
+@dataclass(frozen=True)
+class LabeledStore:
+    addr: int
+    label: Label
+    value: object
+
+
+@dataclass(frozen=True)
+class LoadGather:
+    addr: int
+    label: Label
+
+
+@dataclass(frozen=True)
+class Work:
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """SPMD barrier: blocks until every live thread reaches one.
+
+    Not allowed inside a transaction (a blocked transaction could deadlock
+    conflict resolution). Used by round-synchronous applications (boruvka's
+    rounds, kmeans iterations).
+    """
+
+
+class Atomic:
+    """Transaction boundary: run ``fn(ctx, *args)`` atomically."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable, *args):
+        self.fn = fn
+        self.args: Tuple = args
+
+    def make_generator(self, ctx):
+        return self.fn(ctx, *self.args)
+
+    def __repr__(self) -> str:
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"Atomic({name}, args={self.args!r})"
+
+
+MEMORY_OPS = (Load, Store, LabeledLoad, LabeledStore, LoadGather)
+
+__all__ = [
+    "Load",
+    "Store",
+    "LabeledLoad",
+    "LabeledStore",
+    "LoadGather",
+    "Work",
+    "Barrier",
+    "Atomic",
+    "MEMORY_OPS",
+]

@@ -1,0 +1,49 @@
+"""Per-thread context handed to workload generator functions.
+
+Provides thread identity, label lookup, memory allocation, and a private
+RNG stream. Allocation is host-side bookkeeping (it models a per-thread
+allocator and costs no simulated cycles by itself — initializing stores do).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ThreadCtx:
+    """What a workload body sees. One per thread (= per core)."""
+
+    def __init__(self, tid: int, machine):
+        self.tid = tid
+        self._machine = machine
+
+    # --- labels -------------------------------------------------------------
+
+    def label(self, name: str):
+        return self._machine.labels.get(name)
+
+    # --- allocation ----------------------------------------------------------
+
+    def alloc_words(self, nwords: int) -> int:
+        """Allocate in the shared arena (object-size aligned)."""
+        return self._machine.alloc.alloc_words(nwords)
+
+    def alloc_line(self) -> int:
+        return self._machine.alloc.alloc_line()
+
+    def thread_alloc_words(self, nwords: int) -> int:
+        """Allocate in this thread's private arena (nodes, buffers)."""
+        return self._machine.alloc.thread_alloc_words(self.tid, nwords)
+
+    # --- randomness ------------------------------------------------------------
+
+    @property
+    def rng(self) -> random.Random:
+        """Deterministic per-thread stream."""
+        return self._machine.rng.stream(f"thread-{self.tid}")
+
+    # --- config ------------------------------------------------------------------
+
+    @property
+    def num_threads(self) -> int:
+        return self._machine.config.num_cores

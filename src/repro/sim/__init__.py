@@ -1,0 +1,8 @@
+"""Simulation substrate: deterministic RNG streams, per-core clocks,
+statistics, and the execution-driven engine."""
+
+from .rng import RngStreams
+from .stats import Stats, WastedCause
+from .clock import CoreClocks
+
+__all__ = ["RngStreams", "Stats", "WastedCause", "CoreClocks"]

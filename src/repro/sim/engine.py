@@ -1,0 +1,348 @@
+"""Execution-driven engine.
+
+Drives one workload coroutine per core at memory-operation granularity.
+The scheduler always advances the core with the smallest local clock, which
+approximates cycle-level interleaving; every operation charges Table I
+latencies computed by the memory system.
+
+Transactions (``Atomic`` ops) are replayed on abort: the transaction's
+generator is discarded, the core stalls for randomized backoff, and a fresh
+generator is created — mirroring hardware restart exactly, because all
+shared-state effects go through speculative stores that rollback undoes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..coherence.messages import Requester
+from ..errors import SimulationError, TransactionError
+from ..mem.address import line_of
+from ..htm.backoff import backoff_cycles
+from ..runtime.ops import (
+    Atomic,
+    Barrier,
+    LabeledLoad,
+    LabeledStore,
+    Load,
+    LoadGather,
+    Store,
+    Work,
+)
+from ..runtime.thread_api import ThreadCtx
+from .clock import CoreClocks
+from .trace import EventKind
+
+
+@dataclass
+class Frame:
+    """One level of a thread's generator stack."""
+
+    gen: object
+    atomic: Optional[Atomic] = None
+    is_tx_root: bool = False
+
+
+@dataclass
+class ThreadRunner:
+    core: int
+    ctx: ThreadCtx
+    frames: List[Frame] = field(default_factory=list)
+    pending_value: object = None
+    blocked: bool = False  # waiting at a barrier
+
+
+class Engine:
+    """Runs a set of thread bodies to completion on a machine."""
+
+    def __init__(self, machine, bodies: List[Callable]):
+        self.machine = machine
+        self.config = machine.config
+        self.stats = machine.stats
+        self.htm = machine.htm
+        self.msys = machine.msys
+        if len(bodies) > self.config.num_cores:
+            raise SimulationError(
+                f"{len(bodies)} threads exceed {self.config.num_cores} cores"
+            )
+        self.clocks = CoreClocks(self.config.num_cores,
+                                 jitter=machine.rng.jitter())
+        self.runners: List[Optional[ThreadRunner]] = []
+        for core in range(self.config.num_cores):
+            if core < len(bodies):
+                ctx = ThreadCtx(core, machine)
+                runner = ThreadRunner(core=core, ctx=ctx)
+                runner.frames.append(Frame(gen=bodies[core](ctx)))
+                self.runners.append(runner)
+            else:
+                self.runners.append(None)
+                self.clocks.finish(core)
+        self._live_threads = len(bodies)
+        self._barrier_waiting: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            core = self.clocks.next_core()
+            if core is None:
+                break
+            self._step(core)
+            if not self.runners[core].blocked:
+                self.clocks.reschedule(core)
+        self.stats.parallel_cycles = self.clocks.max_cycle
+
+    # ------------------------------------------------------------------
+
+    def _step(self, core: int) -> None:
+        runner = self.runners[core]
+        tx = self.htm.active(core)
+        if tx is not None and tx.aborted:
+            self._restart_tx(runner, tx)
+            return
+
+        frame = runner.frames[-1]
+        value = runner.pending_value
+        runner.pending_value = None
+        try:
+            op = frame.gen.send(value)
+        except StopIteration as stop:
+            self._finish_frame(runner, stop.value)
+            return
+        self._dispatch(runner, op)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        if isinstance(op, Atomic):
+            if self.htm.active(core) is None:
+                ts = getattr(op, "ts", None)  # OrderedAtomic: order == priority
+                tx = self.htm.begin(core, ts=ts)
+                self.machine.tracer.record(self.clocks.now(core), core,
+                                           EventKind.TX_BEGIN)
+                self._charge(core, self.config.tx_begin_cycles)
+                runner.frames.append(
+                    Frame(gen=op.make_generator(runner.ctx), atomic=op,
+                          is_tx_root=True)
+                )
+            else:
+                # Closed nesting by subsumption.
+                runner.frames.append(
+                    Frame(gen=op.make_generator(runner.ctx), atomic=op)
+                )
+            return
+
+        if isinstance(op, Work):
+            if op.cycles < 0:
+                raise SimulationError(f"negative Work: {op.cycles}")
+            self.stats.instructions += op.cycles
+            self._charge(core, op.cycles)
+            return
+
+        if isinstance(op, Barrier):
+            self._barrier_arrive(runner)
+            return
+
+        self._memory_op(runner, op)
+
+    # ------------------------------------------------------------------
+
+    def _barrier_arrive(self, runner: ThreadRunner) -> None:
+        core = runner.core
+        if self.htm.active(core) is not None:
+            raise TransactionError(
+                f"Barrier inside a transaction on core {core}"
+            )
+        runner.blocked = True
+        self.machine.tracer.record(self.clocks.now(core), core,
+                                   EventKind.BARRIER)
+        self._barrier_waiting.append(core)
+        self._maybe_release_barrier(skip_reschedule=core)
+
+    def _maybe_release_barrier(self, skip_reschedule: Optional[int] = None) -> None:
+        if not self._barrier_waiting:
+            return
+        if len(self._barrier_waiting) < self._live_threads:
+            return
+        release_at = max(self.clocks.now(c) for c in self._barrier_waiting)
+        waiting, self._barrier_waiting = self._barrier_waiting, []
+        for core in waiting:
+            stall = release_at - self.clocks.now(core)
+            if stall > 0:
+                # Barrier wait is non-transactional stall time.
+                self.stats.charge(core, stall, in_tx=False)
+                self.clocks.advance(core, stall)
+            self.runners[core].blocked = False
+            self.runners[core].pending_value = None
+            if core != skip_reschedule:
+                self.clocks.reschedule(core)
+
+    def _memory_op(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self.htm.active(core)
+        requester = Requester(core, tx.ts if tx is not None else None,
+                              now=self.clocks.now(core))
+
+        # The baseline HTM (commtm_enabled=False) and restarted transactions
+        # with labels disabled execute labeled operations conventionally.
+        plain = (not self.config.commtm_enabled
+                 or (tx is not None and tx.labels_disabled))
+        self.stats.instructions += 1
+
+        if isinstance(op, Load):
+            res = self.msys.load(core, op.addr, requester)
+        elif isinstance(op, Store):
+            res = self._conventional_store(core, op.addr, op.value,
+                                           requester, tx)
+        elif isinstance(op, LabeledLoad):
+            if plain:
+                res = self.msys.load(core, op.addr, requester)
+            else:
+                self.stats.labeled_instructions += 1
+                self.stats.labeled_by_label[op.label.name] += 1
+                res = self.msys.labeled_load(core, op.addr, op.label,
+                                             requester)
+        elif isinstance(op, LabeledStore):
+            if plain:
+                res = self._conventional_store(core, op.addr, op.value,
+                                               requester, tx)
+            else:
+                self.stats.labeled_instructions += 1
+                self.stats.labeled_by_label[op.label.name] += 1
+                res = self.msys.labeled_store(core, op.addr, op.label,
+                                              op.value, requester)
+        elif isinstance(op, LoadGather):
+            if plain:
+                res = self.msys.load(core, op.addr, requester)
+            else:
+                self.stats.labeled_instructions += 1
+                self.stats.labeled_by_label[op.label.name] += 1
+                res = self.msys.load_gather(core, op.addr, op.label,
+                                            requester)
+        else:
+            raise SimulationError(f"unknown operation {op!r}")
+
+        self._charge(core, res.cycles)
+
+        tx = self.htm.active(core)
+        if res.abort_requester:
+            if tx is None:
+                raise SimulationError(
+                    "non-transactional request was asked to abort"
+                )
+            if not tx.aborted:
+                self.htm.conflicts.abort(core, res.abort_cause)
+            return  # restart handled on the next step
+        if tx is not None and tx.aborted:
+            return  # aborted as a victim mid-operation (self-abort path)
+        runner.pending_value = res.value
+
+    def _conventional_store(self, core: int, addr: int, value, requester,
+                            tx):
+        """Route a conventional store per the conflict-detection scheme:
+        eager acquires ownership immediately; lazy buffers and records the
+        line for commit-time publication."""
+        if tx is not None and self.config.conflict_detection == "lazy":
+            res = self.msys.lazy_store(core, addr, value, requester)
+            if not res.abort_requester:
+                tx.lazy_written.add(line_of(addr))
+            return res
+        return self.msys.store(core, addr, value, requester)
+
+    # ------------------------------------------------------------------
+
+    def _finish_frame(self, runner: ThreadRunner, value) -> None:
+        core = runner.core
+        frame = runner.frames.pop()
+        if frame.is_tx_root:
+            tx = self.htm.active(core)
+            if tx is None:
+                raise TransactionError(
+                    f"transaction frame on core {core} without a tx"
+                )
+            if tx.aborted:
+                # Aborted between its last operation and commit.
+                runner.frames.append(frame)
+                self._restart_tx(runner, tx)
+                return
+            if tx.lazy_written:
+                # Lazy conflict detection: publish the write set, aborting
+                # conflicting transactions (commits always win).
+                requester = Requester(core, tx.ts, now=self.clocks.now(core))
+                for line_no in sorted(tx.lazy_written):
+                    pres = self.msys.publish_line(core, line_no, requester)
+                    self._charge(core, pres.cycles)
+                if tx.aborted:
+                    # A publication cannot abort the committer; guard.
+                    raise TransactionError("committer aborted mid-publish")
+            # Commit clears the speculative sets instantly at the protocol
+            # level; the commit latency is charged afterwards so it does not
+            # extend the conflict window (mirrors hardware, where the
+            # post-commit pipeline drain is not speculative).
+            self.htm.commit(core)
+            self.machine.tracer.record(self.clocks.now(core), core,
+                                       EventKind.TX_COMMIT)
+            self.stats.charge(core, self.config.tx_commit_cycles,
+                              in_tx=True)
+            self.clocks.advance(core, self.config.tx_commit_cycles)
+        if not runner.frames:
+            self.clocks.finish(core)
+            self._live_threads -= 1
+            # A finished thread no longer participates in barriers.
+            self._maybe_release_barrier()
+            return
+        runner.pending_value = value
+
+    def _restart_tx(self, runner: ThreadRunner, tx) -> None:
+        core = runner.core
+        self.htm.finish_abort(core)
+        while runner.frames and not runner.frames[-1].is_tx_root:
+            runner.frames.pop()
+        if not runner.frames:
+            raise TransactionError(
+                f"aborted tx on core {core} has no transaction frame"
+            )
+        tx_frame = runner.frames.pop()
+        atomic = tx_frame.atomic
+        self.machine.tracer.record(self.clocks.now(core), core,
+                                   EventKind.TX_ABORT,
+                                   detail=str(tx.abort_cause))
+
+        if tx.attempts >= self.config.max_restarts:
+            raise SimulationError(
+                f"transaction on core {core} aborted {tx.attempts} times; "
+                f"livelock guard tripped"
+            )
+
+        stall = backoff_cycles(self.machine.rng.backoff(), tx.attempts,
+                               self.config.backoff_base,
+                               self.config.backoff_max)
+        # Backoff stall is abort-induced: account it as wasted.
+        self.stats.breakdown[core].tx_aborted += stall
+        self.stats.wasted_by_cause[tx.abort_cause] += stall
+        self.clocks.advance(core, stall)
+
+        new_tx = self.htm.begin_retry(core, tx)
+        self._charge(core, self.config.tx_begin_cycles)
+        runner.frames.append(
+            Frame(gen=atomic.make_generator(runner.ctx), atomic=atomic,
+                  is_tx_root=True)
+        )
+        runner.pending_value = None
+
+    # ------------------------------------------------------------------
+
+    def _charge(self, core: int, cycles: int) -> None:
+        tx = self.htm.active(core)
+        if tx is None:
+            self.stats.charge(core, cycles, in_tx=False)
+        elif tx.aborted:
+            # The op that doomed the tx: its cycles are wasted directly.
+            self.stats.breakdown[core].tx_aborted += cycles
+            self.stats.wasted_by_cause[tx.abort_cause] += cycles
+        else:
+            self.stats.charge(core, cycles, in_tx=True)
+            tx.cycles_this_attempt += cycles
+        self.clocks.advance(core, cycles)

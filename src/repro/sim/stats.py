@@ -1,0 +1,176 @@
+"""Simulation statistics.
+
+Collects everything the paper's evaluation reports:
+
+* per-core cycle breakdown: non-transactional / transactional-committed /
+  transactional-aborted (Fig. 17);
+* wasted-cycle breakdown by conflict cause (Fig. 18);
+* GET-request breakdown between private L2s and the shared L3:
+  GETS / GETX / GETU (Fig. 19);
+* commit/abort counts, reductions, gathers, splits;
+* instruction counts, including labeled-instruction fractions (Sec. VII).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class WastedCause(enum.Enum):
+    """Why an aborted transaction's work was wasted (Fig. 18 categories)."""
+
+    READ_AFTER_WRITE = "Read after Write"
+    WRITE_AFTER_READ = "Write after Write/Read"
+    GATHER_AFTER_LABELED = "Gather after Labeled access"
+    OTHER = "Others"
+
+
+@dataclass
+class CoreCycleBreakdown:
+    """Cycles spent by one core, split per Fig. 17."""
+
+    non_tx: int = 0
+    tx_committed: int = 0
+    tx_aborted: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.non_tx + self.tx_committed + self.tx_aborted
+
+
+@dataclass
+class Stats:
+    """Aggregated run statistics. One instance per simulation run."""
+
+    num_cores: int = 0
+
+    #: Simulated completion time of the parallel region (max core clock).
+    parallel_cycles: int = 0
+
+    # --- cycles -----------------------------------------------------------
+    breakdown: List[CoreCycleBreakdown] = field(default_factory=list)
+    wasted_by_cause: Counter = field(default_factory=Counter)
+    shadow_thread_cycles: int = 0  # reduction/split handler work
+
+    # --- transactions -----------------------------------------------------
+    commits: int = 0
+    aborts: int = 0
+    nacks_sent: int = 0
+
+    # --- coherence traffic -------------------------------------------------
+    gets: int = 0   # GETS requests from private caches to L3/directory
+    getx: int = 0   # GETX
+    getu: int = 0   # GETU (CommTM only)
+    invalidations: int = 0
+    downgrades: int = 0
+    forwards: int = 0          # U-state data forwards (reduction traffic)
+    writebacks: int = 0
+    l3_misses: int = 0
+    noc_hops: int = 0
+
+    # --- CommTM mechanisms --------------------------------------------------
+    reductions: int = 0        # full reductions (lines merged counted below)
+    reduction_lines: int = 0   # lines forwarded+merged across all reductions
+    gathers: int = 0
+    splits: int = 0
+    u_evictions: int = 0
+
+    # --- instructions -------------------------------------------------------
+    instructions: int = 0
+    labeled_instructions: int = 0  # labeled loads/stores + gathers
+    #: Labeled operations per label name (profiling which commutative
+    #: operations an application actually exercises — Table II's content).
+    labeled_by_label: Counter = field(default_factory=Counter)
+    #: Reductions per label name.
+    reductions_by_label: Counter = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        if self.num_cores and not self.breakdown:
+            self.breakdown = [CoreCycleBreakdown() for _ in range(self.num_cores)]
+
+    # --- recording helpers --------------------------------------------------
+
+    def charge(self, core: int, cycles: int, in_tx: bool) -> None:
+        """Charge cycles to a core. Transactional cycles start as committed;
+        :meth:`reclassify_aborted` moves them to aborted on rollback."""
+        entry = self.breakdown[core]
+        if in_tx:
+            entry.tx_committed += cycles
+        else:
+            entry.non_tx += cycles
+
+    def reclassify_aborted(self, core: int, cycles: int, cause: WastedCause) -> None:
+        """Move ``cycles`` of this core's transactional time to the aborted
+        bucket, attributing them to ``cause``."""
+        entry = self.breakdown[core]
+        moved = min(cycles, entry.tx_committed)
+        entry.tx_committed -= moved
+        entry.tx_aborted += moved
+        self.wasted_by_cause[cause] += moved
+
+    # --- derived summaries ---------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(b.total for b in self.breakdown)
+
+    @property
+    def non_tx_cycles(self) -> int:
+        return sum(b.non_tx for b in self.breakdown)
+
+    @property
+    def tx_committed_cycles(self) -> int:
+        return sum(b.tx_committed for b in self.breakdown)
+
+    @property
+    def tx_aborted_cycles(self) -> int:
+        return sum(b.tx_aborted for b in self.breakdown)
+
+    @property
+    def l3_get_requests(self) -> int:
+        """Total GET requests between private L2s and the L3 (Fig. 19)."""
+        return self.gets + self.getx + self.getu
+
+    @property
+    def labeled_fraction(self) -> float:
+        """Fraction of labeled instructions over all instructions
+        (Sec. VII reports this per application)."""
+        if self.instructions == 0:
+            return 0.0
+        return self.labeled_instructions / self.instructions
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.commits + self.aborts
+        return self.aborts / attempts if attempts else 0.0
+
+    def cycle_breakdown_totals(self) -> Dict[str, int]:
+        return {
+            "non_tx": self.non_tx_cycles,
+            "tx_committed": self.tx_committed_cycles,
+            "tx_aborted": self.tx_aborted_cycles,
+        }
+
+    def wasted_breakdown(self) -> Dict[str, int]:
+        return {cause.value: self.wasted_by_cause.get(cause, 0)
+                for cause in WastedCause}
+
+    def get_breakdown(self) -> Dict[str, int]:
+        return {"GETS": self.gets, "GETX": self.getx, "GETU": self.getu}
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of headline numbers, for reports and tests."""
+        return {
+            "cycles": self.parallel_cycles,
+            "total_core_cycles": self.total_cycles,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "abort_rate": self.abort_rate,
+            "reductions": self.reductions,
+            "gathers": self.gathers,
+            "l3_gets": self.l3_get_requests,
+            "labeled_fraction": self.labeled_fraction,
+        }

@@ -1,0 +1,101 @@
+"""Execution tracing: per-core event logs and ASCII timelines.
+
+Enable with ``SystemConfig(trace_enabled=True)``; the machine then records
+transaction begins/commits/aborts, reductions, and gathers with their
+simulated cycle, and :func:`render_timeline` draws them as per-core lanes —
+the form of the paper's Fig. 1, recoverable for any workload
+(see ``examples/fig1_timeline.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class EventKind(enum.Enum):
+    TX_BEGIN = "("
+    TX_COMMIT = "C"
+    TX_ABORT = "x"
+    REDUCTION = "R"
+    GATHER = "G"
+    BARRIER = "|"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    core: int
+    kind: EventKind
+    detail: str = ""
+
+
+class Tracer:
+    """Collects :class:`TraceEvent`s when enabled (zero cost otherwise)."""
+
+    def __init__(self, enabled: bool = False, limit: int = 100_000):
+        self.enabled = enabled
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+
+    def record(self, cycle: int, core: int, kind: EventKind,
+               detail: str = "") -> None:
+        if not self.enabled or len(self.events) >= self.limit:
+            return
+        self.events.append(TraceEvent(cycle, core, kind, detail))
+
+    def for_core(self, core: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.core == core]
+
+    def counts(self) -> dict:
+        out = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+
+def render_timeline(tracer: Tracer, cores: Optional[List[int]] = None,
+                    width: int = 72, title: str = "") -> str:
+    """ASCII timeline: one lane per core, events placed by cycle.
+
+    ``(`` tx begin, ``C`` commit, ``x`` abort, ``R`` reduction,
+    ``G`` gather, ``|`` barrier. Events sharing a column keep the
+    most severe one (abort > commit > begin).
+    """
+    events = tracer.events
+    if not events:
+        return title or "(no events)"
+    if cores is None:
+        cores = sorted({e.core for e in events})
+    t_min = min(e.cycle for e in events)
+    t_max = max(e.cycle for e in events)
+    span = max(1, t_max - t_min)
+
+    severity = {
+        EventKind.TX_BEGIN: 0,
+        EventKind.BARRIER: 1,
+        EventKind.GATHER: 2,
+        EventKind.REDUCTION: 3,
+        EventKind.TX_COMMIT: 4,
+        EventKind.TX_ABORT: 5,
+    }
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for core in cores:
+        lane = [" "] * width
+        best = [-1] * width
+        for e in events:
+            if e.core != core:
+                continue
+            col = min(width - 1, int((e.cycle - t_min) * (width - 1) / span))
+            if severity[e.kind] > best[col]:
+                best[col] = severity[e.kind]
+                lane[col] = e.kind.value
+        lines.append(f"core {core:>3} |" + "".join(lane) + "|")
+    lines.append(f"{'':>9}{t_min} .. {t_max} cycles")
+    lines.append("legend: ( begin   C commit   x abort   R reduction   "
+                 "G gather   | barrier")
+    return "\n".join(lines)

@@ -1,0 +1,2 @@
+"""Workloads: the paper's microbenchmarks (Sec. VI) and full TM
+applications (Sec. VII), plus synthetic input generators."""

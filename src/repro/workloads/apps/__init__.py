@@ -1,0 +1,18 @@
+"""Full TM applications (Sec. VII, Table II).
+
+* ``boruvka`` — minimum spanning tree, implemented from scratch as in the
+  paper, using OPUT (min-weight edge per component), MIN (component
+  union / hooking), MAX (marking MST edges), and ADD (MST weight).
+* ``kmeans`` — clustering with commutative ADD updates to shared centroids.
+* ``ssca2`` — graph kernel with rare commutative updates to global metadata.
+* ``genome`` — gene sequencing; resizable hash-table deduplication whose
+  remaining-space bounded counter uses gathers.
+* ``vacation`` — travel reservation database on resizable hash tables.
+
+Each module exposes ``build(machine, num_threads, **params)`` returning a
+:class:`~repro.workloads.micro.common.BuiltWorkload`.
+"""
+
+from . import boruvka, kmeans, ssca2, genome, vacation
+
+__all__ = ["boruvka", "kmeans", "ssca2", "genome", "vacation"]

@@ -1,0 +1,287 @@
+"""boruvka: parallel minimum spanning tree (Sec. VII, Table II).
+
+The paper implements boruvka from scratch with four commutative operation
+types; we follow that recipe:
+
+* **OPUT** (64-bit-key ordered put): each component records its
+  minimum-weight outgoing edge.
+* **MIN**: components union by hooking the larger root id to the smaller
+  (monotonically decreasing parent pointers — naturally commutative).
+* **MAX**: edges added to the MST are marked.
+* **ADD**: the MST's total weight is accumulated.
+
+Round structure (SPMD with barriers):
+
+1. *Select*: threads scan their edge chunk; for each edge whose endpoints
+   are in different components, OPUT ``(w, eid, cu, cv, u, v)`` into both
+   components' min-edge cells.
+2. *Process*: for each root component, read its min-edge cell (a normal
+   read — triggers the OPUT reduction); the smaller-root side ("owner")
+   adds the edge: MAX-marks it, ADDs its weight, and MIN-hooks the larger
+   root to the smaller.
+3. *Fix-up & compress*: lost MIN updates (two unions targeting the same
+   cell keep only the smaller) are repaired by re-hooking each added edge
+   until its endpoints share a root — acyclic because hooks only ever
+   decrease. Threads then path-compress their nodes (compression itself is
+   a MIN update!) and reset their min-edge cells.
+4. Thread 0 publishes whether any union happened; no progress ends the
+   loop.
+
+Input: a usroads-like synthetic road network (see
+``repro.workloads.inputs.graphs``); distinct weights make the MST unique,
+so verification against a host-side reference MST is exact.
+"""
+
+from __future__ import annotations
+
+from ...core.labels import add_label, max_label, min_label, oput_label
+from ...mem.address import WORD_BYTES
+from ...runtime.ops import (
+    Atomic,
+    Barrier,
+    LabeledLoad,
+    LabeledStore,
+    Load,
+    Store,
+    Work,
+)
+from ..inputs.graphs import Graph, road_network
+from ..micro.common import BuiltWorkload
+
+DEFAULT_NODES = 192
+MAX_FIND_DEPTH = 10_000
+
+
+def build(machine, num_threads: int, num_nodes: int = DEFAULT_NODES,
+          extra_edge_factor: float = 1.3, seed: int = 1,
+          graph: Graph = None) -> BuiltWorkload:
+    if graph is None:
+        graph = road_network(num_nodes, extra_edge_factor, seed=seed)
+    app = _Boruvka(machine, graph, num_threads)
+    return BuiltWorkload(
+        name="boruvka",
+        bodies=[app.make_body(t) for t in range(num_threads)],
+        verify=app.verify,
+        info={"nodes": graph.num_nodes, "edges": graph.num_edges},
+    )
+
+
+def _chunk(n: int, parts: int, i: int) -> range:
+    base, extra = divmod(n, parts)
+    start = i * base + min(i, extra)
+    return range(start, start + base + (1 if i < extra else 0))
+
+
+class _Boruvka:
+    def __init__(self, machine, graph: Graph, num_threads: int):
+        self.machine = machine
+        self.graph = graph
+        self.num_threads = num_threads
+        labels = machine.labels
+        self.OPUT = (labels.get("OPUT") if "OPUT" in labels
+                     else machine.register_label(oput_label()))
+        self.MIN = (labels.get("MIN") if "MIN" in labels
+                    else machine.register_label(min_label()))
+        self.MAX = (labels.get("MAX") if "MAX" in labels
+                    else machine.register_label(max_label()))
+        self.ADD = (labels.get("ADD") if "ADD" in labels
+                    else machine.register_label(add_label()))
+
+        n, e = graph.num_nodes, graph.num_edges
+        alloc = machine.alloc
+        self.hooks = alloc.alloc_words(n)        # MIN cells, 8 per line
+        self.minedge = alloc.alloc_words(n)      # OPUT cells
+        self.marks = alloc.alloc_words(e)        # MAX cells
+        self.edges_arr = alloc.alloc_words(e)    # read-only (u, v, w)
+        self.weight = alloc.alloc_line()         # ADD cell
+        self.max_rounds = 2 * max(1, n - 1).bit_length() + 4
+        self.progress = alloc.alloc_words(self.max_rounds)  # ADD cells
+        self.flag = alloc.alloc_line()
+
+        for i in range(n):
+            machine.seed_word(self.hooks + i * WORD_BYTES, i)
+            machine.seed_word(self.minedge + i * WORD_BYTES, None)
+        for eid, (u, v, w) in enumerate(graph.edges):
+            machine.seed_word(self.edges_arr + eid * WORD_BYTES, (u, v, w))
+            machine.seed_word(self.marks + eid * WORD_BYTES, None)
+
+    # --- address helpers -----------------------------------------------------
+
+    def _hook(self, i: int) -> int:
+        return self.hooks + i * WORD_BYTES
+
+    def _minedge(self, c: int) -> int:
+        return self.minedge + c * WORD_BYTES
+
+    def _mark(self, eid: int) -> int:
+        return self.marks + eid * WORD_BYTES
+
+    # --- transactional pieces ----------------------------------------------
+
+    def _find(self, node: int):
+        """Chase hook pointers with conventional loads (reduces MIN lines).
+        Generator sub-routine: use with ``yield from``."""
+        cur = node
+        for _ in range(MAX_FIND_DEPTH):
+            parent = yield Load(self._hook(cur))
+            if parent is None or parent == cur:
+                return cur
+            cur = parent
+        raise AssertionError("hook chain too deep (cycle?)")
+
+    def _select_edge(self, ctx, eid: int):
+        u, v, w = yield Load(self.edges_arr + eid * WORD_BYTES)
+        cu = yield from self._find(u)
+        cv = yield from self._find(v)
+        if cu == cv:
+            return False
+        lo, hi = (cu, cv) if cu < cv else (cv, cu)
+        pair = (w, eid, lo, hi, u, v)
+        for c in (lo, hi):
+            cur = yield LabeledLoad(self._minedge(c), self.OPUT)
+            if cur is None or cur == 0 or pair[0] < cur[0]:
+                yield LabeledStore(self._minedge(c), self.OPUT, pair)
+        return True
+
+    def _process_component(self, ctx, c: int, rnd: int):
+        pair = yield Load(self._minedge(c))  # OPUT reduction
+        if pair is None or pair == 0:
+            return None
+        w, eid, lo, hi, u, v = pair
+        if c != lo:
+            # Mutual-minimum dedupe: when both endpoints selected the same
+            # edge, only the smaller root adds it; otherwise this (larger)
+            # root adds its own min edge.
+            lo_pair = yield Load(self._minedge(lo))
+            if lo_pair == pair:
+                return None
+        # Mark the edge in the MST (64-bit MAX per the paper).
+        mark = yield LabeledLoad(self._mark(eid), self.MAX)
+        if mark is None or mark < 1:
+            yield LabeledStore(self._mark(eid), self.MAX, 1)
+        # Accumulate total weight (ADD).
+        total = yield LabeledLoad(self.weight, self.ADD)
+        yield LabeledStore(self.weight, self.ADD, total + w)
+        # Union: hook the larger root to the smaller (MIN).
+        cur = yield LabeledLoad(self._hook(hi), self.MIN)
+        if cur is None or lo < cur:
+            yield LabeledStore(self._hook(hi), self.MIN, lo)
+        # Count progress for the termination check (ADD).
+        p = yield LabeledLoad(self.progress + rnd * WORD_BYTES, self.ADD)
+        yield LabeledStore(self.progress + rnd * WORD_BYTES, self.ADD, p + 1)
+        return (u, v)
+
+    def _fixup_step(self, ctx, u: int, v: int):
+        """Repair a lost union: returns True when u and v share a root."""
+        ru = yield from self._find(u)
+        rv = yield from self._find(v)
+        if ru == rv:
+            return True
+        lo, hi = (ru, rv) if ru < rv else (rv, ru)
+        cur = yield LabeledLoad(self._hook(hi), self.MIN)
+        if cur is None or lo < cur:
+            yield LabeledStore(self._hook(hi), self.MIN, lo)
+        return False
+
+    def _compress_and_reset(self, ctx, c: int):
+        root = yield from self._find(c)
+        if root != c:
+            cur = yield LabeledLoad(self._hook(c), self.MIN)
+            if cur is None or root < cur:
+                yield LabeledStore(self._hook(c), self.MIN, root)
+        yield Store(self._minedge(c), None)  # reset the OPUT cell
+
+    def _publish_flag(self, ctx, rnd: int):
+        count = yield Load(self.progress + rnd * WORD_BYTES)
+        yield Store(self.flag, 1 if count else 0)
+
+    # --- SPMD body ------------------------------------------------------------
+
+    def make_body(self, tid: int):
+        my_edges = _chunk(self.graph.num_edges, self.num_threads, tid)
+        my_nodes = _chunk(self.graph.num_nodes, self.num_threads, tid)
+
+        def body(ctx):
+            for rnd in range(self.max_rounds):
+                added = []
+                for eid in my_edges:
+                    # Loop control, index arithmetic, weight compares, and
+                    # the graph-traversal bookkeeping zsim would execute.
+                    yield Work(180)
+                    yield Atomic(self._select_edge, eid)
+                yield Barrier()
+                for c in my_nodes:
+                    edge = yield Atomic(self._process_component, c, rnd)
+                    if edge is not None:
+                        added.append(edge)
+                yield Barrier()
+                for (u, v) in added:
+                    for _ in range(MAX_FIND_DEPTH):
+                        done = yield Atomic(self._fixup_step, u, v)
+                        if done:
+                            break
+                for c in my_nodes:
+                    yield Atomic(self._compress_and_reset, c)
+                yield Barrier()
+                if tid == 0:
+                    yield Atomic(self._publish_flag, rnd)
+                yield Barrier()
+                flag = yield Load(self.flag)
+                if not flag:
+                    return
+
+        return body
+
+    # --- verification -----------------------------------------------------------
+
+    def verify(self, machine) -> None:
+        machine.flush_reducible()
+        expected_weight, expected_edges = _reference_mst(self.graph)
+        weight = machine.read_word(self.weight)
+        marked = set()
+        for eid in range(self.graph.num_edges):
+            if machine.read_word(self._mark(eid)):
+                marked.add(eid)
+        if weight != expected_weight:
+            raise AssertionError(
+                f"boruvka: MST weight {weight} != expected {expected_weight}"
+            )
+        if marked != expected_edges:
+            raise AssertionError(
+                f"boruvka: marked {len(marked)} edges, expected "
+                f"{len(expected_edges)} (sets differ)"
+            )
+        # All nodes must share one root.
+        roots = set()
+        for i in range(self.graph.num_nodes):
+            cur = i
+            for _ in range(MAX_FIND_DEPTH):
+                parent = machine.read_word(self._hook(cur))
+                if parent is None or parent == cur:
+                    break
+                cur = parent
+            roots.add(cur)
+        if len(roots) != 1:
+            raise AssertionError(f"boruvka: {len(roots)} roots remain")
+
+
+def _reference_mst(graph: Graph):
+    """Kruskal on the host; distinct weights make the MST unique."""
+    parent = list(range(graph.num_nodes))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0
+    chosen = set()
+    for eid, (u, v, w) in sorted(enumerate(graph.edges),
+                                 key=lambda kv: kv[1][2]):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            total += w
+            chosen.add(eid)
+    return total, chosen

@@ -1,0 +1,115 @@
+"""genome: gene sequencing (Sec. VII).
+
+STAMP's genome has three phases; the transactional hot spot is phase 1,
+which deduplicates gene segments by inserting them into a hash set. Per
+Table II the paper compiles it with *resizable* hash tables [Blundell
+et al.], whose remaining-space counter is a bounded 64-bit ADD — a
+conditionally-commutative operation that uses gather requests.
+
+We reproduce that profile: threads insert their chunk of segments into a
+:class:`~repro.datatypes.hash_table.ResizableHashTable` (dedup by segment
+key), with the per-segment hashing/compare work modelled as computation;
+a second phase does the overlap-matching computation on the deduplicated
+segments (little shared state, as in the original).
+"""
+
+from __future__ import annotations
+
+from ...mem.address import WORD_BYTES
+from ...runtime.ops import Atomic, Barrier, Load, Work
+from ...datatypes.hash_table import ResizableHashTable
+from ..inputs.genes import make_segments
+from ..micro.common import BuiltWorkload
+
+DEFAULT_GENE_LENGTH = 1024
+DEFAULT_SEGMENT_LENGTH = 16
+DEFAULT_SEGMENTS = 2048
+
+
+def build(machine, num_threads: int,
+          gene_length: int = DEFAULT_GENE_LENGTH,
+          segment_length: int = DEFAULT_SEGMENT_LENGTH,
+          num_segments: int = DEFAULT_SEGMENTS,
+          initial_buckets: int = None,
+          use_gather: bool = True, seed: int = 1) -> BuiltWorkload:
+    if initial_buckets is None:
+        # Size the table so resizes are rare events, as in the paper's
+        # 640k-insert runs: scaled-down runs must not spend a large
+        # fraction of their time at global-zero remaining space, where
+        # every thread gathers and races to resize.
+        initial_buckets = max(64, num_segments // 6)
+    gene, segments = make_segments(gene_length, segment_length,
+                                   num_segments, seed=seed)
+    app = _Genome(machine, segments, num_threads, initial_buckets,
+                  use_gather)
+    return BuiltWorkload(
+        name="genome",
+        bodies=[app.make_body(t) for t in range(num_threads)],
+        verify=app.verify,
+        info={"segments": num_segments,
+              "unique": len(set(segments))},
+    )
+
+
+def _chunk(n: int, parts: int, i: int) -> range:
+    base, extra = divmod(n, parts)
+    start = i * base + min(i, extra)
+    return range(start, start + base + (1 if i < extra else 0))
+
+
+class _Genome:
+    def __init__(self, machine, segments, num_threads, initial_buckets,
+                 use_gather):
+        self.machine = machine
+        self.segments = segments
+        self.num_threads = num_threads
+        self.table = ResizableHashTable(machine, num_buckets=initial_buckets,
+                                        use_gather=use_gather)
+        self.table.distribute_remaining(num_threads)
+        alloc = machine.alloc
+        self.segments_arr = alloc.alloc_words(len(segments))
+        for i, seg in enumerate(segments):
+            machine.seed_word(self.segments_arr + i * WORD_BYTES, seg)
+
+    def _dedup_insert(self, ctx, i: int):
+        """Insert segment i if not already present (phase 1)."""
+        seg = yield Load(self.segments_arr + i * WORD_BYTES)
+        existing = yield from self.table.lookup(ctx, seg)
+        if existing is not None:
+            return False
+        yield from self.table.insert(ctx, seg, i)
+        return True
+
+    def make_body(self, tid: int):
+        my_segments = _chunk(len(self.segments), self.num_threads, tid)
+
+        def body(ctx):
+            # Phase 1: deduplicate segments via hash-set inserts.
+            for i in my_segments:
+                yield Work(200)  # segment hashing + compare
+                yield Atomic(self._dedup_insert, i)
+            yield Barrier()
+            # Phase 2: overlap matching on the deduplicated segments —
+            # compute-dominated, no shared transactional state.
+            for _i in my_segments:
+                yield Work(400)
+
+        return body
+
+    def verify(self, machine) -> None:
+        machine.flush_reducible()
+        expected = set(self.segments)
+        base, num_buckets, _cap = machine.read_word(self.table.meta_addr)
+        keys = []
+        for i in range(num_buckets):
+            chain = machine.read_word(base + i * WORD_BYTES)
+            if chain == 0:
+                continue
+            keys.extend(k for k, _v in chain)
+        if len(keys) != len(set(keys)):
+            raise AssertionError("genome: duplicate segments in the table")
+        if set(keys) != expected:
+            raise AssertionError(
+                f"genome: table has {len(set(keys))} unique segments, "
+                f"expected {len(expected)}"
+            )

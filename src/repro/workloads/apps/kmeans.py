@@ -1,0 +1,173 @@
+"""kmeans: clustering with commutative centroid updates (Sec. VII).
+
+STAMP's kmeans assigns points to the nearest centroid and accumulates each
+cluster's coordinate sums and membership count inside transactions —
+commutative 32-bit (FP) ADDs per Table II, and the paper's best case
+(3.4x over the baseline at 128 threads): with a conventional HTM every
+accumulator update serializes; with CommTM they buffer locally in U lines.
+
+One line per cluster holds ``dims`` fixed-point sums plus a count (up to 7
+dims), all under the ADD label — the paper's multiple-values-per-line
+convention. Iterations are round-synchronous: accumulate, then leaders
+read the accumulators (reductions) and publish new centroids.
+
+Coordinates are fixed-point integers so host-side verification is exact.
+"""
+
+from __future__ import annotations
+
+from ...core.labels import add_label
+from ...mem.address import LINE_BYTES, WORD_BYTES
+from ...runtime.ops import Atomic, Barrier, LabeledLoad, LabeledStore, Load, Store, Work
+from ..micro.common import BuiltWorkload
+
+DEFAULT_POINTS = 512
+DEFAULT_CLUSTERS = 8
+DEFAULT_DIMS = 4
+DEFAULT_ITERS = 3
+SCALE = 1 << 16  # fixed-point scale
+
+
+def build(machine, num_threads: int, num_points: int = DEFAULT_POINTS,
+          clusters: int = DEFAULT_CLUSTERS, dims: int = DEFAULT_DIMS,
+          iterations: int = DEFAULT_ITERS, seed: int = 1) -> BuiltWorkload:
+    if dims + 1 > LINE_BYTES // WORD_BYTES:
+        raise ValueError("dims+1 words must fit in one line")
+    app = _KMeans(machine, num_threads, num_points, clusters, dims,
+                  iterations, seed)
+    return BuiltWorkload(
+        name="kmeans",
+        bodies=[app.make_body(t) for t in range(num_threads)],
+        verify=app.verify,
+        info={"points": num_points, "clusters": clusters, "dims": dims,
+              "iterations": iterations},
+    )
+
+
+def _chunk(n: int, parts: int, i: int) -> range:
+    base, extra = divmod(n, parts)
+    start = i * base + min(i, extra)
+    return range(start, start + base + (1 if i < extra else 0))
+
+
+class _KMeans:
+    def __init__(self, machine, num_threads, num_points, clusters, dims,
+                 iterations, seed):
+        self.machine = machine
+        self.num_threads = num_threads
+        self.num_points = num_points
+        self.clusters = clusters
+        self.dims = dims
+        self.iterations = iterations
+        labels = machine.labels
+        self.ADD = (labels.get("ADD") if "ADD" in labels
+                    else machine.register_label(add_label()))
+
+        rng = machine.rng.workload(f"kmeans/{seed}")
+        self.points = [
+            tuple(rng.randrange(SCALE) for _ in range(dims))
+            for _ in range(num_points)
+        ]
+        alloc = machine.alloc
+        # Input points: one word per point (tuple of fixed-point coords).
+        self.points_arr = alloc.alloc_words(num_points)
+        for i, p in enumerate(self.points):
+            machine.seed_word(self.points_arr + i * WORD_BYTES, p)
+        # Published centroids: one word per cluster.
+        self.centroids_arr = alloc.alloc_words(clusters)
+        initial = [self.points[i % num_points] for i in range(clusters)]
+        for c, cent in enumerate(initial):
+            machine.seed_word(self.centroids_arr + c * WORD_BYTES, cent)
+        # Accumulators: one line per cluster (dims sums + count), ADD label.
+        self.accum = [alloc.alloc_line() for _ in range(clusters)]
+
+    # --- transactional pieces -------------------------------------------------
+
+    def _accumulate(self, ctx, cluster: int, point):
+        """Commutative adds of the point's coords and a count of one."""
+        base = self.accum[cluster]
+        for d, coord in enumerate(point):
+            addr = base + d * WORD_BYTES
+            cur = yield LabeledLoad(addr, self.ADD)
+            yield LabeledStore(addr, self.ADD, cur + coord)
+        caddr = base + self.dims * WORD_BYTES
+        cnt = yield LabeledLoad(caddr, self.ADD)
+        yield LabeledStore(caddr, self.ADD, cnt + 1)
+
+    def _recompute(self, ctx, cluster: int):
+        """Leader: read the accumulator (reduction), publish the centroid,
+        and reset the accumulator with conventional stores."""
+        base = self.accum[cluster]
+        sums = []
+        for d in range(self.dims):
+            v = yield Load(base + d * WORD_BYTES)
+            sums.append(v)
+        cnt = yield Load(base + self.dims * WORD_BYTES)
+        if cnt:
+            centroid = tuple(s // cnt for s in sums)
+            yield Store(self.centroids_arr + cluster * WORD_BYTES, centroid)
+        for d in range(self.dims + 1):
+            yield Store(base + d * WORD_BYTES, 0)
+
+    # --- SPMD body ---------------------------------------------------------------
+
+    def make_body(self, tid: int):
+        my_points = _chunk(self.num_points, self.num_threads, tid)
+        my_clusters = _chunk(self.clusters, self.num_threads, tid)
+
+        def body(ctx):
+            for _ in range(self.iterations):
+                centroids = []
+                for c in range(self.clusters):
+                    v = yield Load(self.centroids_arr + c * WORD_BYTES)
+                    centroids.append(v)
+                for i in my_points:
+                    point = yield Load(self.points_arr + i * WORD_BYTES)
+                    yield Work(8 * self.dims * self.clusters + 100)  # distances
+                    best = _nearest(point, centroids)
+                    yield Atomic(self._accumulate, best, point)
+                yield Barrier()
+                for c in my_clusters:
+                    yield Atomic(self._recompute, c)
+                yield Barrier()
+
+        return body
+
+    # --- verification -----------------------------------------------------------
+
+    def verify(self, machine) -> None:
+        machine.flush_reducible()
+        expected = self._reference()
+        for c in range(self.clusters):
+            got = machine.read_word(self.centroids_arr + c * WORD_BYTES)
+            if tuple(got) != expected[c]:
+                raise AssertionError(
+                    f"kmeans: centroid {c} is {got}, expected {expected[c]}"
+                )
+
+    def _reference(self):
+        centroids = [self.points[i % self.num_points]
+                     for i in range(self.clusters)]
+        for _ in range(self.iterations):
+            sums = [[0] * self.dims for _ in range(self.clusters)]
+            counts = [0] * self.clusters
+            for p in self.points:
+                best = _nearest(p, centroids)
+                for d in range(self.dims):
+                    sums[best][d] += p[d]
+                counts[best] += 1
+            centroids = [
+                tuple(sums[c][d] // counts[c] for d in range(self.dims))
+                if counts[c] else centroids[c]
+                for c in range(self.clusters)
+            ]
+        return centroids
+
+
+def _nearest(point, centroids) -> int:
+    best, best_d = 0, None
+    for c, cent in enumerate(centroids):
+        d = sum((a - b) ** 2 for a, b in zip(point, cent))
+        if best_d is None or d < best_d:
+            best, best_d = c, d
+    return best

@@ -1,0 +1,211 @@
+"""vacation: travel reservation system (Sec. VII).
+
+STAMP's vacation runs an in-memory travel database (cars, flights, rooms,
+customers) under an OLTP-style mix: reservations (lookups + booking
+updates), customer deletions, and table updates. Per Table II the paper
+compiles it with resizable hash tables whose remaining-space bounded
+counters (64-bit ADD with gathers) are the commutative hot spot.
+
+We model each relation as a :class:`ResizableHashTable` storing resource
+records ``(total, available, price)`` and a reservations table mapping
+``(customer, kind, resource)`` to bookings. Reservations update resource
+availability in place (conventional read-modify-writes on the bucket) and
+insert a booking (hash-table insert — the counter decrement).
+"""
+
+from __future__ import annotations
+
+from ...runtime.ops import Atomic, Work
+from ...datatypes.hash_table import ResizableHashTable
+from ..inputs.travel import make_requests
+from ..micro.common import BuiltWorkload, split_ops
+
+DEFAULT_TASKS = 2048
+DEFAULT_RELATIONS = 128
+
+
+def build(machine, num_threads: int, num_tasks: int = DEFAULT_TASKS,
+          relations: int = DEFAULT_RELATIONS, items_per_task: int = 2,
+          query_pct: int = 60, user_pct: int = 90,
+          initial_buckets: int = None,
+          use_gather: bool = True, seed: int = 1) -> BuiltWorkload:
+    if initial_buckets is None:
+        # Leave headroom beyond the host-seeded relations and expected
+        # bookings so resizes are rare (the paper's regime; see genome).
+        initial_buckets = max(32, relations // 2)
+    requests = make_requests(num_tasks, items_per_task=items_per_task,
+                             query_pct=query_pct, user_pct=user_pct,
+                             relations=relations, seed=seed)
+    app = _Vacation(machine, requests, num_threads, relations,
+                    initial_buckets, use_gather, seed)
+    return BuiltWorkload(
+        name="vacation",
+        bodies=[app.make_body(t) for t in range(num_threads)],
+        verify=app.verify,
+        info={"tasks": num_tasks, "relations": relations},
+    )
+
+
+class _Vacation:
+    def __init__(self, machine, requests, num_threads, relations,
+                 initial_buckets, use_gather, seed):
+        self.machine = machine
+        self.requests = requests
+        self.num_threads = num_threads
+        self.relations = relations
+        self.resources = {
+            kind: ResizableHashTable(machine, num_buckets=initial_buckets,
+                                     use_gather=use_gather)
+            for kind in ("car", "flight", "room")
+        }
+        # Bookings accumulate (deletions release only a sample), so the
+        # reservations table needs headroom proportional to the task count.
+        # The remaining-space counter's gather regime is scale-sensitive
+        # (see EXPERIMENTS.md): at paper scale the counter approaches zero
+        # only in brief resize epochs; a scaled-down run must keep the same
+        # property or every thread ends up in gather/resize retry storms.
+        reservation_buckets = max(initial_buckets, len(requests) // 4)
+        self.reservations = ResizableHashTable(
+            machine, num_buckets=reservation_buckets, use_gather=use_gather
+        )
+        rng = machine.rng.workload(f"vacation-setup/{seed}")
+        self._seed_resources(rng)
+        for table in (*self.resources.values(), self.reservations):
+            table.distribute_remaining(num_threads)
+        #: Host-side log of committed bookings, for verification
+        #: (appended only after Atomic returns).
+        self.booked = []
+
+    def _seed_resources(self, rng) -> None:
+        """Populate relations before the parallel region (setup phase)."""
+        for kind, table in self.resources.items():
+            for rid in range(self.relations):
+                total = rng.randrange(1, 6)
+                price = rng.randrange(50, 500)
+                self._host_insert(table, rid, (total, total, price))
+
+    def _host_insert(self, table, key, value) -> None:
+        """Direct (pre-run) insert without simulated cycles."""
+        machine = self.machine
+        base, num_buckets, capacity = machine.memory.read_word(
+            table.meta_addr
+        )
+        addr = table._bucket_addr(base, num_buckets, key)
+        chain = machine.memory.read_word(addr)
+        chain = chain if chain != 0 else ()
+        machine.memory.write_word(addr, chain + ((key, value),))
+        remaining = machine.memory.read_word(table.remaining.addr)
+        machine.memory.write_word(table.remaining.addr, remaining - 1)
+
+    # --- transactional request handlers -----------------------------------------
+
+    def _reserve(self, ctx, customer, items):
+        """Book every available item; returns booked item list."""
+        booked = []
+        for kind, rid in items:
+            yield Work(20)  # request parsing / price comparison
+            record = yield from self.resources[kind].lookup(ctx, rid)
+            if record is None:
+                continue
+            total, available, price = record
+            if available <= 0:
+                continue
+            already = yield from self.reservations.lookup(
+                ctx, (customer, kind, rid)
+            )
+            if already is not None:
+                continue  # one booking per (customer, resource)
+            # Update availability in place (conventional RMW on the
+            # bucket), then insert the booking (counter decrement).
+            yield from self.resources[kind].remove(ctx, rid)
+            yield from self.resources[kind].insert(
+                ctx, rid, (total, available - 1, price)
+            )
+            yield from self.reservations.insert(
+                ctx, (customer, kind, rid), price
+            )
+            booked.append((kind, rid))
+        return booked
+
+    def _delete_customer(self, ctx, customer):
+        """Release all of a customer's bookings (scan + removes)."""
+        released = []
+        for kind in ("car", "flight", "room"):
+            for rid in range(0, self.relations, 16):  # sampled scan
+                yield Work(4)
+                price = yield from self.reservations.lookup(
+                    ctx, (customer, kind, rid)
+                )
+                if price is None:
+                    continue
+                yield from self.reservations.remove(ctx, (customer, kind, rid))
+                record = yield from self.resources[kind].lookup(ctx, rid)
+                if record is not None:
+                    total, available, p = record
+                    yield from self.resources[kind].remove(ctx, rid)
+                    yield from self.resources[kind].insert(
+                        ctx, rid, (total, available + 1, p)
+                    )
+                released.append((kind, rid))
+        return released
+
+    def _update_tables(self, ctx, customer, items):
+        """Admin task: grow or reprice resources."""
+        for kind, rid in items:
+            yield Work(10)
+            record = yield from self.resources[kind].lookup(ctx, rid)
+            if record is None:
+                continue
+            total, available, price = record
+            yield from self.resources[kind].remove(ctx, rid)
+            yield from self.resources[kind].insert(
+                ctx, rid, (total + 1, available + 1, price)
+            )
+        return None
+
+    # --- SPMD body -----------------------------------------------------------------
+
+    def make_body(self, tid: int):
+        counts = split_ops(len(self.requests), self.num_threads)
+        start = sum(counts[:tid])
+        my_requests = self.requests[start:start + counts[tid]]
+
+        def body(ctx):
+            for req in my_requests:
+                yield Work(150)  # client think time
+                if req.action == "reserve":
+                    booked = yield Atomic(self._reserve, req.customer,
+                                          req.items)
+                    for item in booked:
+                        self.booked.append((req.customer, item))
+                elif req.action == "delete_customer":
+                    yield Atomic(self._delete_customer, req.customer)
+                else:
+                    yield Atomic(self._update_tables, req.customer,
+                                 req.items)
+
+        return body
+
+    # --- verification -----------------------------------------------------------------
+
+    def verify(self, machine) -> None:
+        machine.flush_reducible()
+        # Conservation: for every resource, (total - available) must equal
+        # the number of live reservations for it.
+        live = {}
+        res_snapshot = self.reservations.snapshot()
+        for (customer, kind, rid), _price in res_snapshot.items():
+            live[(kind, rid)] = live.get((kind, rid), 0) + 1
+        for kind, table in self.resources.items():
+            snap = table.snapshot()
+            for rid, (total, available, _price) in snap.items():
+                outstanding = live.get((kind, rid), 0)
+                if total - available != outstanding:
+                    raise AssertionError(
+                        f"vacation: {kind} {rid}: total {total}, available "
+                        f"{available}, but {outstanding} live reservations"
+                    )
+                if available < 0:
+                    raise AssertionError(
+                        f"vacation: negative availability on {kind} {rid}"
+                    )

@@ -1,0 +1,21 @@
+"""Synthetic input generators replacing the paper's external datasets.
+
+The paper uses the usroads graph [16] for boruvka and STAMP's built-in
+generators for the others. We substitute deterministic synthetic inputs
+with the same structural character (see DESIGN.md):
+
+* :func:`~repro.workloads.inputs.graphs.road_network` — sparse, connected,
+  near-planar, low-degree graph with distinct edge weights (usroads-like).
+* :func:`~repro.workloads.inputs.graphs.rmat_graph` — power-law R-MAT graph
+  (ssca2's input class).
+* :func:`~repro.workloads.inputs.genes.make_segments` — overlapping gene
+  segments with duplicates (genome's input class).
+* :func:`~repro.workloads.inputs.travel.TravelDatabase` — relations and
+  request mix mirroring vacation's parameters.
+"""
+
+from .graphs import road_network, rmat_graph
+from .genes import make_segments
+from .travel import make_requests
+
+__all__ = ["road_network", "rmat_graph", "make_segments", "make_requests"]

@@ -1,0 +1,38 @@
+"""Gene-segment generator (genome's input class).
+
+genome -g<G> -s<S> -n<N>: a gene of length G is cut into N segments of
+length S with overlaps and duplicates; the benchmark first deduplicates the
+segments (hash-set inserts — the transactional hot path), then matches
+overlaps to reassemble. We generate the same structure: a random gene
+string, N random windows of length S (duplicates arise naturally), encoded
+as integers for table keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+ALPHABET = "acgt"
+
+
+def make_segments(gene_length: int, segment_length: int, num_segments: int,
+                  seed: int = 1) -> Tuple[str, List[str]]:
+    """Return (gene, segments). Segments are substrings of the gene."""
+    if segment_length > gene_length:
+        raise ValueError("segment longer than gene")
+    rng = random.Random(f"gene/{seed}")
+    gene = "".join(rng.choice(ALPHABET) for _ in range(gene_length))
+    max_start = gene_length - segment_length
+    segments = []
+    # Guarantee coverage (every position appears in some segment), as the
+    # real generator does, then fill with random windows (duplicates occur
+    # once num_segments exceeds the number of distinct windows).
+    starts = list(range(0, max_start + 1, max(1, segment_length // 2)))
+    for start in starts:
+        segments.append(gene[start:start + segment_length])
+    while len(segments) < num_segments:
+        start = rng.randrange(max_start + 1)
+        segments.append(gene[start:start + segment_length])
+    rng.shuffle(segments)
+    return gene, segments[:num_segments]

@@ -1,0 +1,46 @@
+"""Travel-reservation request generator (vacation's input class).
+
+vacation -n<N> -q<Q> -u<U> -r<R> -t<T>: T client tasks, each touching N
+items; Q% of the relation's id range is queried; U% of tasks are
+reservations/bookings, the rest split between deletions and table updates.
+We generate the same request stream shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+RESOURCE_KINDS = ("car", "flight", "room")
+
+
+@dataclass(frozen=True)
+class Request:
+    action: str           # "reserve" | "delete_customer" | "update_tables"
+    customer: int
+    items: tuple          # (kind, resource_id) pairs
+
+
+def make_requests(num_tasks: int, items_per_task: int = 4,
+                  query_pct: int = 60, user_pct: int = 90,
+                  relations: int = 256, seed: int = 1) -> List[Request]:
+    rng = random.Random(f"travel/{seed}")
+    query_range = max(1, relations * query_pct // 100)
+    requests = []
+    for _ in range(num_tasks):
+        r = rng.randrange(100)
+        customer = rng.randrange(relations)
+        items = tuple(
+            (rng.choice(RESOURCE_KINDS), rng.randrange(query_range))
+            for _ in range(items_per_task)
+        )
+        if r < user_pct:
+            action = "reserve"
+        elif r < user_pct + (100 - user_pct) // 2:
+            action = "delete_customer"
+        else:
+            action = "update_tables"
+        requests.append(Request(action=action, customer=customer,
+                                items=items))
+    return requests

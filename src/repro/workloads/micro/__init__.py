@@ -1,0 +1,20 @@
+"""Microbenchmarks (Sec. VI): counter increments, reference counting,
+linked lists, ordered puts, top-K insertions.
+
+Each module exposes ``build(machine, num_threads, **params)`` returning a
+:class:`~repro.workloads.micro.common.BuiltWorkload` with per-thread bodies
+and a post-run verifier.
+"""
+
+from .common import BuiltWorkload, split_ops
+from . import counter, refcount, linked_list, ordered_put, topk
+
+__all__ = [
+    "BuiltWorkload",
+    "split_ops",
+    "counter",
+    "refcount",
+    "linked_list",
+    "ordered_put",
+    "topk",
+]

@@ -1,0 +1,32 @@
+"""Shared workload plumbing.
+
+Host-side result recording rule: transactions replay on abort, so any
+host-side bookkeeping (appending to lists, counting) must happen *after*
+an ``Atomic`` returns, never inside the transaction generator. All
+workloads here follow that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class BuiltWorkload:
+    """A workload instantiated on a machine, ready to run."""
+
+    name: str
+    bodies: List[Callable]
+    #: Called after the run (machine passed); raises on semantic errors.
+    verify: Optional[Callable] = None
+    #: Free-form extras exposed to benches (e.g. expected totals).
+    info: dict = field(default_factory=dict)
+
+
+def split_ops(total_ops: int, num_threads: int) -> List[int]:
+    """Divide ``total_ops`` across threads (first threads take remainders)."""
+    if num_threads <= 0:
+        raise ValueError("need at least one thread")
+    base, extra = divmod(total_ops, num_threads)
+    return [base + (1 if t < extra else 0) for t in range(num_threads)]

@@ -1,0 +1,53 @@
+"""Top-K insertion microbenchmark (Sec. VI, Fig. 14).
+
+Threads insert random elements into a top-K set (the paper: 10M inserts,
+K = 1000; scaled by default). Inserts build thread-local heaps under the
+TOPK label; the final read triggers the K-way merge of Fig. 15.
+"""
+
+from __future__ import annotations
+
+from ...datatypes.topk import TopKSet
+from ...runtime.ops import Atomic
+from .common import BuiltWorkload, split_ops
+
+DEFAULT_OPS = 20_000
+DEFAULT_K = 100
+
+
+def build(machine, num_threads: int, total_ops: int = DEFAULT_OPS,
+          k: int = DEFAULT_K) -> BuiltWorkload:
+    topk = TopKSet(machine, k=k)
+    if machine.config.commtm_enabled and num_threads > 1:
+        # Steady-state start: U pre-granted with empty local heaps (see
+        # counter.build for rationale).
+        machine.seed_reducible(topk.addr, topk.label,
+                               {core: () for core in range(num_threads)})
+    per_thread = split_ops(total_ops, num_threads)
+    issued = []
+
+    def make_body(tid: int, ops: int):
+        def body(ctx):
+            rng = ctx.rng
+            for _ in range(ops):
+                value = rng.getrandbits(48)
+                yield Atomic(topk.insert, value)
+                issued.append(value)
+        return body
+
+    def verify(m):
+        m.flush_reducible()
+        final = m.read_word(topk.addr)
+        final = () if final == 0 else final
+        expected = tuple(sorted(issued)[-k:])
+        if tuple(final) != expected:
+            raise AssertionError(
+                f"top-{k}: got {len(final)} elements, mismatch with expected"
+            )
+
+    return BuiltWorkload(
+        name="topk",
+        bodies=[make_body(t, n) for t, n in enumerate(per_thread)],
+        verify=verify,
+        info={"total_ops": total_ops, "k": k},
+    )

@@ -1,0 +1,43 @@
+"""Shared fixtures: small machines and protocol sandboxes."""
+
+import pytest
+
+from repro import Machine
+from repro.params import small_config
+from repro.coherence.messages import Requester, SYSTEM
+from repro.core.labels import add_label
+
+
+@pytest.fixture
+def machine():
+    """A small 4-core CommTM machine."""
+    return Machine(small_config(num_cores=4))
+
+
+@pytest.fixture
+def machine8():
+    """A small 8-core CommTM machine."""
+    return Machine(small_config(num_cores=8))
+
+
+@pytest.fixture
+def baseline_machine():
+    """A small 4-core machine with CommTM disabled (baseline HTM)."""
+    return Machine(small_config(num_cores=4, commtm_enabled=False))
+
+
+@pytest.fixture
+def msys(machine):
+    """Direct access to the memory system, with an ADD label registered."""
+    machine.register_label(add_label())
+    return machine.msys
+
+
+def nonspec(core: int) -> Requester:
+    """A non-speculative requester for direct protocol tests."""
+    return Requester(core=core, ts=None, now=0)
+
+
+@pytest.fixture
+def req():
+    return nonspec

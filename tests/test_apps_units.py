@@ -1,0 +1,87 @@
+"""Unit-level tests of application internals (chunking, reference
+algorithms, request handlers) that the end-to-end app tests don't cover
+directly."""
+
+import pytest
+
+from repro import Machine
+from repro.params import small_config
+from repro.workloads.apps.boruvka import _chunk, _reference_mst
+from repro.workloads.apps.kmeans import _nearest
+from repro.workloads.inputs.graphs import Graph, road_network
+
+
+class TestChunking:
+    def test_covers_all_without_overlap(self):
+        for n in (0, 1, 7, 100):
+            for parts in (1, 3, 8):
+                seen = []
+                for i in range(parts):
+                    seen.extend(_chunk(n, parts, i))
+                assert seen == list(range(n))
+
+    def test_balanced(self):
+        sizes = [len(_chunk(10, 3, i)) for i in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestReferenceMst:
+    def test_triangle(self):
+        g = Graph(num_nodes=3, edges=[(0, 1, 1), (1, 2, 2), (0, 2, 3)])
+        weight, chosen = _reference_mst(g)
+        assert weight == 3
+        assert chosen == {0, 1}
+
+    def test_spanning_size(self):
+        g = road_network(40, seed=5)
+        _w, chosen = _reference_mst(g)
+        assert len(chosen) == 39
+
+    def test_unique_with_distinct_weights(self):
+        g = road_network(30, seed=9)
+        w1, c1 = _reference_mst(g)
+        w2, c2 = _reference_mst(g)
+        assert (w1, c1) == (w2, c2)
+
+
+class TestNearest:
+    def test_picks_closest(self):
+        cents = [(0, 0), (10, 10), (20, 20)]
+        assert _nearest((1, 1), cents) == 0
+        assert _nearest((11, 9), cents) == 1
+        assert _nearest((19, 22), cents) == 2
+
+    def test_tie_breaks_to_first(self):
+        cents = [(0, 0), (2, 0)]
+        assert _nearest((1, 0), cents) == 0
+
+
+class TestVacationHandlers:
+    def _build(self, **kw):
+        from repro.workloads.apps import vacation
+        machine = Machine(small_config(num_cores=4))
+        built = vacation.build(machine, 2, num_tasks=8, relations=8, **kw)
+        return machine, built
+
+    def test_resources_seeded(self):
+        machine, built = self._build()
+        assert built.info["relations"] == 8
+
+    def test_requests_split_across_threads(self):
+        machine, built = self._build()
+        assert len(built.bodies) == 2
+
+
+class TestGenomeBuild:
+    def test_table_sized_to_segments(self):
+        from repro.workloads.apps import genome
+        machine = Machine(small_config(num_cores=4))
+        built = genome.build(machine, 2, num_segments=600, gene_length=256)
+        # initial_buckets = max(64, 600 // 6) = 100 -> capacity 400.
+        assert built.info["segments"] == 600
+
+    def test_explicit_buckets_respected(self):
+        from repro.workloads.apps import genome
+        machine = Machine(small_config(num_cores=4))
+        genome.build(machine, 2, num_segments=100, gene_length=256,
+                     initial_buckets=16)

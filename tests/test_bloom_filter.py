@@ -1,0 +1,87 @@
+"""Bloom filter datatype: commutative OR inserts, no false negatives."""
+
+import pytest
+
+from repro import Atomic, Machine, Work
+from repro.datatypes import BloomFilter
+from repro.params import small_config
+
+
+def make():
+    return Machine(small_config(num_cores=4))
+
+
+def test_no_false_negatives_under_concurrency():
+    machine = make()
+    bloom = BloomFilter(machine, num_bits=512, num_hashes=3)
+    keys = [f"key-{t}-{i}" for t in range(4) for i in range(20)]
+
+    def body(ctx):
+        for key in keys[ctx.tid::4]:
+            yield Atomic(bloom.insert, key)
+
+    machine.run_spmd(body, 4)
+    machine.flush_reducible()
+    assert machine.stats.aborts == 0  # OR inserts commute
+
+    for key in keys:
+        present = all(
+            machine.read_word(addr) & mask
+            for addr, mask in bloom._probes(key)
+        )
+        assert present, f"false negative for {key}"
+
+
+def test_absent_keys_mostly_absent():
+    machine = make()
+    bloom = BloomFilter(machine, num_bits=4096, num_hashes=4)
+
+    def body(ctx):
+        for i in range(10):
+            yield Atomic(bloom.insert, (ctx.tid, i))
+
+    machine.run_spmd(body, 4)
+    machine.flush_reducible()
+    false_positives = 0
+    for i in range(200):
+        probe = ("absent", i)
+        if all(machine.read_word(a) & m for a, m in bloom._probes(probe)):
+            false_positives += 1
+    # 40 keys x 4 hashes in 4096 bits -> fp rate well under 5%.
+    assert false_positives < 10
+
+
+def test_contains_inside_transaction():
+    machine = make()
+    bloom = BloomFilter(machine, num_bits=512)
+    results = []
+
+    def insert_then_check(ctx, key):
+        yield from bloom.insert(ctx, key)
+        found = yield from bloom.contains(ctx, key)
+        return found
+
+    def body(ctx):
+        results.append((yield Atomic(insert_then_check, ("k", ctx.tid))))
+
+    machine.run_spmd(body, 2)
+    assert results == [True, True]
+
+
+def test_popcount_counts_set_bits():
+    machine = make()
+    bloom = BloomFilter(machine, num_bits=256, num_hashes=2)
+
+    def body(ctx):
+        yield Atomic(bloom.insert, "solo")
+
+    machine.run([body])
+    machine.flush_reducible()
+    assert 1 <= bloom.popcount(machine) <= 2
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        BloomFilter(make(), num_bits=100)  # not a multiple of 64
+    with pytest.raises(ValueError):
+        BloomFilter(make(), num_bits=128, num_hashes=0)

@@ -1,0 +1,73 @@
+"""Confidence-interval helpers (the paper's Sec. V run protocol)."""
+
+import pytest
+
+from repro.harness.confidence import (
+    confidence_interval,
+    run_until_confident,
+    t_quantile_975,
+)
+
+
+class TestCi:
+    def test_identical_samples_zero_width(self):
+        ci = confidence_interval([5.0, 5.0, 5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert ci.relative == 0.0
+
+    def test_known_value(self):
+        # mean 2, sample std 1, n=4 -> half = 3.182 * 0.5
+        ci = confidence_interval([1.0, 2.0, 2.0, 3.0])
+        assert ci.mean == 2.0
+        assert ci.half_width == pytest.approx(3.182 * (2 / 3) ** 0.5 / 2,
+                                              rel=1e-3)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_t_quantiles_decrease(self):
+        qs = [t_quantile_975(df) for df in range(1, 40)]
+        assert all(a >= b for a, b in zip(qs, qs[1:]))
+        assert qs[-1] == 1.96
+
+    def test_str_format(self):
+        text = str(confidence_interval([10.0, 12.0, 11.0]))
+        assert "±" in text and "n=3" in text
+
+
+class TestRunUntilConfident:
+    def test_stops_early_on_tight_data(self):
+        calls = []
+
+        def measure(seed):
+            calls.append(seed)
+            return 100.0 + 0.01 * seed
+
+        ci = run_until_confident(measure, target_relative=0.01)
+        assert len(calls) == 3  # min_runs, already confident
+
+    def test_runs_to_cap_on_noisy_data(self):
+        import random
+        rng = random.Random(1)
+
+        def measure(seed):
+            return rng.uniform(0, 1000)
+
+        ci = run_until_confident(measure, target_relative=0.001,
+                                 max_runs=5)
+        assert len(ci.samples) == 5
+
+    def test_on_real_simulation(self):
+        from repro.harness import run_workload
+        from repro.workloads.micro import counter
+
+        def measure(seed):
+            return run_workload(counter.build, 4, num_cores=16,
+                                total_ops=200, seed=seed).cycles
+
+        ci = run_until_confident(measure, target_relative=0.10,
+                                 min_runs=3, max_runs=6)
+        assert ci.mean > 0
+        assert ci.relative <= 0.10 or len(ci.samples) == 6

@@ -1,0 +1,174 @@
+"""Conflict manager: policies, cause attribution, abort machinery."""
+
+import pytest
+
+from repro import Machine
+from repro.coherence.line import CacheLine
+from repro.coherence.messages import Requester
+from repro.coherence.protocol import Resolution, Trigger
+from repro.coherence.states import State
+from repro.errors import ProtocolError
+from repro.htm.backoff import backoff_cycles
+from repro.htm.conflict import victim_cause
+from repro.params import small_config
+from repro.sim.stats import WastedCause
+
+
+def _entry(read=False, written=False, labeled=False):
+    entry = CacheLine(line=0, state=State.M, words=[0] * 8)
+    entry.spec_read = read
+    entry.spec_written = written
+    entry.spec_labeled = labeled
+    return entry
+
+
+class TestVictimCause:
+    def test_write_hits_reader(self):
+        assert victim_cause(Trigger.WRITE, _entry(read=True)) is \
+            WastedCause.READ_AFTER_WRITE
+
+    def test_read_hits_writer(self):
+        assert victim_cause(Trigger.READ, _entry(written=True)) is \
+            WastedCause.WRITE_AFTER_READ
+
+    def test_gather_hits_labeled(self):
+        assert victim_cause(Trigger.GATHER, _entry(labeled=True)) is \
+            WastedCause.GATHER_AFTER_LABELED
+
+    def test_eviction_is_other(self):
+        assert victim_cause(Trigger.EVICTION, _entry(read=True)) is \
+            WastedCause.OTHER
+
+    def test_labeled_invalidation_counts_as_raw(self):
+        assert victim_cause(Trigger.LABELED, _entry(read=True)) is \
+            WastedCause.READ_AFTER_WRITE
+
+    def test_reduction_triggers(self):
+        assert victim_cause(Trigger.REDUCTION_READ, _entry(labeled=True)) is \
+            WastedCause.WRITE_AFTER_READ
+        assert victim_cause(Trigger.REDUCTION_WRITE, _entry(labeled=True)) is \
+            WastedCause.READ_AFTER_WRITE
+
+
+class TestConflictManager:
+    def make(self, policy="timestamp"):
+        machine = Machine(small_config(num_cores=4, conflict_policy=policy))
+        return machine, machine.conflicts, machine.htm
+
+    def test_older_requester_aborts_victim(self):
+        machine, cm, htm = self.make()
+        old_tx = htm.begin(0)   # ts 0
+        victim_tx = htm.begin(1)  # ts 1
+        entry = _entry(read=True)
+        out = cm.resolve(1, 0, Requester(0, ts=old_tx.ts), Trigger.WRITE,
+                         entry)
+        assert out is Resolution.ABORT_VICTIM
+        assert victim_tx.aborted
+        assert machine.stats.aborts == 1
+
+    def test_younger_requester_gets_nack(self):
+        machine, cm, htm = self.make()
+        victim_tx = htm.begin(0)  # ts 0 (older)
+        young = htm.begin(1)      # ts 1
+        out = cm.resolve(0, 0, Requester(1, ts=young.ts), Trigger.WRITE,
+                         _entry(read=True))
+        assert out is Resolution.NACK
+        assert not victim_tx.aborted
+
+    def test_nonspeculative_requester_always_wins(self):
+        machine, cm, htm = self.make()
+        victim_tx = htm.begin(0)
+        out = cm.resolve(0, 0, Requester(1, ts=None), Trigger.WRITE,
+                         _entry(read=True))
+        assert out is Resolution.ABORT_VICTIM
+        assert victim_tx.aborted
+
+    def test_requester_wins_policy(self):
+        machine, cm, htm = self.make(policy="requester_wins")
+        htm.begin(0)  # older victim
+        young = htm.begin(1)
+        out = cm.resolve(0, 0, Requester(1, ts=young.ts), Trigger.WRITE,
+                         _entry(read=True))
+        assert out is Resolution.ABORT_VICTIM
+
+    def test_abort_is_idempotent(self):
+        machine, cm, htm = self.make()
+        tx = htm.begin(0)
+        cm.abort(0, WastedCause.OTHER)
+        cm.abort(0, WastedCause.OTHER)
+        assert machine.stats.aborts == 1
+        assert tx.aborted
+
+    def test_abort_without_tx_raises(self):
+        machine, cm, htm = self.make()
+        with pytest.raises(ProtocolError):
+            cm.abort(0, WastedCause.OTHER)
+
+    def test_abort_requester_disables_labels(self):
+        machine, cm, htm = self.make()
+        tx = htm.begin(0)
+        cm.abort_requester(0, WastedCause.OTHER, disable_labels=True)
+        assert tx.labels_disabled
+
+    def test_resolve_without_tx_is_protocol_error(self):
+        machine, cm, htm = self.make()
+        with pytest.raises(ProtocolError):
+            cm.resolve(0, 0, Requester(1, ts=3), Trigger.WRITE,
+                       _entry(read=True))
+
+
+class TestBackoff:
+    def test_window_grows_with_attempts(self):
+        import random
+        rng = random.Random(1)
+        small = max(backoff_cycles(rng, 1, 16, 4096) for _ in range(200))
+        big = max(backoff_cycles(rng, 6, 16, 4096) for _ in range(200))
+        assert small <= 16
+        assert big > 64
+
+    def test_capped_at_maximum(self):
+        import random
+        rng = random.Random(1)
+        for _ in range(100):
+            assert backoff_cycles(rng, 30, 16, 512) <= 512
+
+    def test_zero_base_disables(self):
+        import random
+        assert backoff_cycles(random.Random(1), 5, 0, 512) == 0
+
+    def test_always_positive_with_base(self):
+        import random
+        rng = random.Random(2)
+        assert all(backoff_cycles(rng, a, 8, 128) >= 1 for a in range(1, 10))
+
+
+class TestHtmRuntime:
+    def test_timestamps_monotonic(self):
+        machine = Machine(small_config(num_cores=4))
+        txs = [machine.htm.begin(c) for c in range(3)]
+        assert [t.ts for t in txs] == [0, 1, 2]
+
+    def test_double_begin_rejected(self):
+        from repro.errors import TransactionError
+        machine = Machine(small_config(num_cores=4))
+        machine.htm.begin(0)
+        with pytest.raises(TransactionError):
+            machine.htm.begin(0)
+
+    def test_retry_keeps_timestamp(self):
+        machine = Machine(small_config(num_cores=4))
+        tx = machine.htm.begin(0)
+        machine.conflicts.abort(0, WastedCause.OTHER)
+        machine.htm.finish_abort(0)
+        tx2 = machine.htm.begin_retry(0, tx)
+        assert tx2.ts == tx.ts
+        assert tx2.attempts == 2
+        assert not tx2.aborted
+
+    def test_commit_of_aborted_tx_rejected(self):
+        from repro.errors import TransactionError
+        machine = Machine(small_config(num_cores=4))
+        machine.htm.begin(0)
+        machine.conflicts.abort(0, WastedCause.OTHER)
+        with pytest.raises(TransactionError):
+            machine.htm.commit(0)

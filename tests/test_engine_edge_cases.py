@@ -1,0 +1,168 @@
+"""Engine corner cases: capacity aborts, labeled-ops-disabled retries,
+NACKed gathers with persistent donations, instruction accounting."""
+
+import pytest
+
+from repro import (
+    Atomic,
+    LabeledLoad,
+    LabeledStore,
+    Load,
+    LoadGather,
+    Machine,
+    Store,
+    Work,
+)
+from repro.core.labels import add_label
+from repro.errors import SimulationError
+from repro.params import CacheGeometry, small_config
+
+
+ADDR = 0x1000
+
+
+def make(**kw):
+    machine = Machine(small_config(num_cores=4, **kw))
+    machine.register_label(add_label())
+    return machine
+
+
+class TestCapacityAborts:
+    def test_l1_eviction_of_spec_line_aborts(self):
+        cfg = small_config(
+            num_cores=4,
+            l1=CacheGeometry(size_bytes=2 * 64, ways=1, latency=1),
+            l2=CacheGeometry(size_bytes=64 * 64, ways=1, latency=6),
+        )
+        machine = Machine(cfg)
+
+        def txn(ctx):
+            # Touch more lines than the 2-line L1 holds.
+            for i in range(4):
+                yield Store(ADDR + i * 0x40, i)
+
+        def body(ctx):
+            yield Atomic(txn)
+
+        # The transaction cannot ever fit: the livelock guard fires.
+        machine.config.max_restarts = 5
+        with pytest.raises(SimulationError):
+            machine.run([body])
+        assert machine.stats.aborts >= 1
+
+    def test_small_footprint_tx_fits(self):
+        cfg = small_config(
+            num_cores=4,
+            l1=CacheGeometry(size_bytes=8 * 64, ways=1, latency=1),
+            l2=CacheGeometry(size_bytes=64 * 64, ways=1, latency=6),
+        )
+        machine = Machine(cfg)
+
+        def txn(ctx):
+            yield Store(ADDR, 1)
+
+        def body(ctx):
+            yield Atomic(txn)
+
+        machine.run([body])
+        assert machine.stats.commits == 1
+
+
+class TestInstructionAccounting:
+    def test_memory_ops_count_one_each(self):
+        machine = make()
+
+        def body(ctx):
+            yield Store(ADDR, 1)
+            v = yield Load(ADDR)
+            assert v == 1
+
+        machine.run([body])
+        assert machine.stats.instructions == 2
+
+    def test_labeled_ops_counted_separately(self):
+        machine = make()
+        add = machine.labels.get("ADD")
+
+        def txn(ctx):
+            v = yield LabeledLoad(ADDR, add)
+            yield LabeledStore(ADDR, add, v + 1)
+            yield Work(10)
+
+        def body(ctx):
+            yield Atomic(txn)
+
+        machine.run([body])
+        assert machine.stats.labeled_instructions == 2
+        assert machine.stats.instructions == 12  # 2 labeled ops + Work(10)
+
+    def test_gather_counts_as_labeled(self):
+        machine = make()
+        add = machine.labels.get("ADD")
+
+        def txn(ctx):
+            yield LabeledLoad(ADDR, add)
+            yield LoadGather(ADDR, add)
+
+        def body(ctx):
+            yield Atomic(txn)
+
+        machine.run([body])
+        assert machine.stats.labeled_instructions == 2
+
+
+class TestNonTransactionalOps:
+    def test_plain_ops_outside_tx(self):
+        machine = make()
+
+        def body(ctx):
+            yield Store(ADDR, 5)
+            v = yield Load(ADDR)
+            assert v == 5
+
+        machine.run([body])
+        assert machine.stats.commits == 0
+        assert machine.stats.non_tx_cycles > 0
+        assert machine.stats.tx_committed_cycles == 0
+
+    def test_labeled_ops_outside_tx_allowed(self):
+        """Coup-style non-transactional commutative updates."""
+        machine = make()
+        add = machine.labels.get("ADD")
+
+        def body(ctx):
+            v = yield LabeledLoad(ADDR, add)
+            yield LabeledStore(ADDR, add, v + 1)
+
+        machine.run_spmd(body, 4)
+        machine.flush_reducible()
+        assert machine.read_word(ADDR) == 4
+        assert machine.stats.aborts == 0
+
+
+class TestMultipleLabelsOneRun:
+    def test_independent_labels_coexist(self):
+        from repro.core.labels import max_label
+        machine = make()
+        add = machine.labels.get("ADD")
+        mx = machine.register_label(max_label())
+        addr1 = machine.alloc.alloc_line()
+        addr2 = machine.alloc.alloc_line()
+        machine.seed_word(addr2, None)
+
+        def txn(ctx, value):
+            v = yield LabeledLoad(addr1, add)
+            yield LabeledStore(addr1, add, v + 1)
+            m = yield LabeledLoad(addr2, mx)
+            if m is None or value > m:
+                yield LabeledStore(addr2, mx, value)
+
+        def body(ctx):
+            for i in range(5):
+                yield Atomic(txn, ctx.tid * 10 + i)
+
+        machine.run_spmd(body, 4)
+        machine.flush_reducible()
+        assert machine.read_word(addr1) == 20
+        assert machine.read_word(addr2) == 34
+        assert machine.stats.aborts == 0  # different lines, both in U

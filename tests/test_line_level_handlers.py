@@ -1,0 +1,135 @@
+"""Property tests for the line-level (descriptor) handlers: linked-list
+merge/split and top-K merge, run against a host-side memory model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.labels import HandlerContext
+from repro.datatypes.linked_list import (
+    EMPTY,
+    _list_label,
+    _merge_descriptors,
+    _split_descriptor,
+)
+from repro.datatypes.topk import _merge_topk, topk_label
+from repro.mem.memory import MainMemory
+
+
+class HostCtx(HandlerContext):
+    """Handler context over a plain MainMemory (host-side)."""
+
+    def __init__(self, memory: MainMemory):
+        super().__init__(memory.read_word, memory.write_word)
+
+
+def build_chain(memory: MainMemory, values, base: int):
+    """Materialize a chain in memory; returns its descriptor."""
+    if not values:
+        return EMPTY
+    nodes = [base + 16 * i for i in range(len(values))]
+    for node, value in zip(nodes, values):
+        memory.write_word(node, value)
+        memory.write_word(node + 8, 0)
+    for a, b in zip(nodes, nodes[1:]):
+        memory.write_word(a + 8, b)
+    return (nodes[0], nodes[-1])
+
+
+def walk(memory: MainMemory, desc):
+    out = []
+    if desc == EMPTY:
+        return out
+    node, _tail = desc
+    while node != 0:
+        out.append(memory.read_word(node))
+        node = memory.read_word(node + 8)
+        assert len(out) < 10_000, "cycle in list"
+    return out
+
+
+class TestListMerge:
+    @given(st.lists(st.integers(), max_size=8),
+           st.lists(st.integers(), max_size=8))
+    def test_merge_concatenates(self, a_vals, b_vals):
+        memory = MainMemory()
+        ctx = HostCtx(memory)
+        a = build_chain(memory, a_vals, 0x1000)
+        b = build_chain(memory, b_vals, 0x8000)
+        merged = _merge_descriptors(ctx, a, b)
+        assert walk(memory, merged) == a_vals + b_vals
+
+    @given(st.lists(st.integers(), min_size=1, max_size=8))
+    def test_merge_with_empty_is_identity(self, vals):
+        memory = MainMemory()
+        ctx = HostCtx(memory)
+        desc = build_chain(memory, vals, 0x1000)
+        assert _merge_descriptors(ctx, desc, EMPTY) == desc
+        assert _merge_descriptors(ctx, EMPTY, desc) == desc
+
+    @given(st.lists(st.lists(st.integers(), max_size=4), min_size=2,
+                    max_size=5))
+    def test_merge_associative_on_contents(self, groups):
+        def merged_contents(order):
+            memory = MainMemory()
+            ctx = HostCtx(memory)
+            descs = [build_chain(memory, g, 0x1000 * (i + 1) * 16)
+                     for i, g in enumerate(groups)]
+            acc = EMPTY
+            for i in order:
+                acc = _merge_descriptors(ctx, acc, descs[i])
+            return walk(memory, acc)
+
+        # Left-fold in index order equals the concatenation.
+        flat = [v for g in groups for v in g]
+        assert merged_contents(range(len(groups))) == flat
+
+
+class TestListSplit:
+    @given(st.lists(st.integers(), max_size=6))
+    def test_split_donates_head(self, vals):
+        memory = MainMemory()
+        ctx = HostCtx(memory)
+        desc = build_chain(memory, vals, 0x1000)
+        kept, donated = _split_descriptor(ctx, desc)
+        if not vals:
+            assert kept == EMPTY and donated == EMPTY
+        else:
+            assert walk(memory, donated) == [vals[0]]
+            assert walk(memory, kept) == vals[1:]
+
+    @given(st.lists(st.integers(), min_size=1, max_size=6))
+    def test_split_then_merge_restores_elements(self, vals):
+        memory = MainMemory()
+        ctx = HostCtx(memory)
+        desc = build_chain(memory, vals, 0x1000)
+        kept, donated = _split_descriptor(ctx, desc)
+        merged = _merge_descriptors(ctx, donated, kept)
+        assert walk(memory, merged) == vals  # head re-attached in front
+
+
+class TestTopKMerge:
+    @given(st.lists(st.integers(), max_size=20),
+           st.lists(st.integers(), max_size=20),
+           st.integers(1, 10))
+    def test_merge_keeps_k_largest(self, a, b, k):
+        out = _merge_topk(tuple(sorted(a)), tuple(sorted(b)), k)
+        assert list(out) == sorted(a + b)[-k:]
+
+    @given(st.lists(st.lists(st.integers(), max_size=6), min_size=1,
+                    max_size=6),
+           st.integers(1, 8))
+    def test_merge_order_independent(self, groups, k):
+        import functools
+        heaps = [tuple(sorted(g)) for g in groups]
+        fwd = functools.reduce(lambda x, y: _merge_topk(x, y, k), heaps)
+        bwd = functools.reduce(lambda x, y: _merge_topk(x, y, k),
+                               reversed(heaps))
+        assert fwd == bwd
+
+    @given(st.lists(st.integers(), max_size=12), st.integers(1, 6))
+    def test_label_reduce_line(self, vals, k):
+        label = topk_label(k, name=f"TOPK{k}")
+        dst = [tuple(sorted(vals))] + [0] * 7
+        src = label.identity_line()
+        ctx = HostCtx(MainMemory())
+        out = label.reduce(ctx, dst, src)
+        assert out[0] == tuple(sorted(vals)[-k:])

@@ -1,0 +1,108 @@
+"""Machine facade: seeding, flushing, label registration, result object."""
+
+import pytest
+
+from repro import Atomic, LabeledLoad, LabeledStore, Machine, Work
+from repro.core.labels import add_label, min_label
+from repro.datatypes.linked_list import ConcurrentLinkedList
+from repro.errors import SimulationError
+from repro.params import small_config
+
+
+def make(**kw):
+    return Machine(small_config(num_cores=4, **kw))
+
+
+class TestSeedReducible:
+    def test_commtm_installs_u_lines(self):
+        machine = make()
+        add = machine.register_label(add_label())
+        addr = machine.alloc.alloc_line()
+        machine.seed_reducible(addr, add, {0: 3, 1: 4, 2: 5})
+        assert machine.read_word(addr) == 12
+        ent = machine.msys.directory.peek(addr // 64)
+        assert ent.u_sharers == {0, 1, 2}
+
+    def test_baseline_reduces_host_side(self):
+        machine = make(commtm_enabled=False)
+        add = machine.register_label(add_label())
+        addr = machine.alloc.alloc_line()
+        machine.seed_reducible(addr, add, {0: 3, 1: 4})
+        assert machine.memory.read_word(addr) == 7
+        assert machine.msys.directory.peek(addr // 64) is None
+
+    def test_baseline_nonnumeric_label(self):
+        machine = make(commtm_enabled=False)
+        mi = machine.register_label(min_label())
+        addr = machine.alloc.alloc_line()
+        machine.seed_reducible(addr, mi, {0: 9, 1: 2, 2: 5})
+        assert machine.memory.read_word(addr) == 2
+
+    def test_rejects_already_shared_line(self):
+        machine = make()
+        add = machine.register_label(add_label())
+        addr = machine.alloc.alloc_line()
+        machine.seed_reducible(addr, add, {0: 1})
+        with pytest.raises(SimulationError):
+            machine.seed_reducible(addr, add, {1: 2})
+
+    def test_seeded_state_runs_correctly(self):
+        machine = make()
+        add = machine.register_label(add_label())
+        addr = machine.alloc.alloc_line()
+        machine.seed_reducible(addr, add, {c: 10 for c in range(4)})
+
+        def txn(ctx):
+            v = yield LabeledLoad(addr, add)
+            yield LabeledStore(addr, add, v + 1)
+
+        def body(ctx):
+            for _ in range(5):
+                yield Atomic(txn)
+
+        machine.run_spmd(body, 4)
+        machine.flush_reducible()
+        assert machine.read_word(addr) == 40 + 20
+
+
+class TestFlushReducible:
+    def test_flush_idempotent(self):
+        machine = make()
+        add = machine.register_label(add_label())
+        addr = machine.alloc.alloc_line()
+        machine.seed_reducible(addr, add, {0: 1, 1: 2})
+        machine.flush_reducible()
+        machine.flush_reducible()
+        assert machine.read_word(addr) == 3
+
+    def test_flush_runs_line_level_handlers(self):
+        """Linked-list reductions write real next pointers; flushing must
+        produce a walkable chain."""
+        machine = make()
+        lst = ConcurrentLinkedList(machine)
+
+        def body(ctx):
+            yield Atomic(lst.enqueue, ctx.tid)
+
+        machine.run_spmd(body, 4)
+        machine.flush_reducible()
+        desc = machine.read_word(lst.desc_addr)
+        assert desc != 0
+        node, _tail = desc
+        seen = []
+        while node != 0:
+            seen.append(machine.read_word(node))
+            node = machine.read_word(node + 8)
+        assert sorted(seen) == [0, 1, 2, 3]
+
+
+class TestResultObject:
+    def test_cycles_property(self):
+        machine = make()
+
+        def body(ctx):
+            yield Work(10)
+
+        result = machine.run([body])
+        assert result.cycles == machine.stats.parallel_cycles
+        assert result.machine is machine

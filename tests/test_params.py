@@ -1,0 +1,118 @@
+"""SystemConfig (Table I) validation and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import (
+    CacheGeometry,
+    NocConfig,
+    SystemConfig,
+    small_config,
+    LINE_BYTES,
+    WORDS_PER_LINE,
+)
+
+
+def test_defaults_match_table1():
+    cfg = SystemConfig()
+    assert cfg.num_cores == 128
+    assert cfg.l1.size_bytes == 32 * 1024
+    assert cfg.l2.size_bytes == 128 * 1024
+    assert cfg.l2.latency == 6
+    assert cfg.l3.size_bytes == 64 * 1024 * 1024
+    assert cfg.l3.latency == 15
+    assert cfg.l3_banks == 16
+    assert cfg.noc.mesh_width == 4 and cfg.noc.mesh_height == 4
+    assert cfg.mem_latency == 136
+    assert cfg.num_labels == 8
+
+
+def test_line_constants():
+    assert LINE_BYTES == 64
+    assert WORDS_PER_LINE == 8
+
+
+def test_cores_per_tile():
+    cfg = SystemConfig()
+    assert cfg.cores_per_tile == 8
+    assert cfg.tile_of_core(0) == 0
+    assert cfg.tile_of_core(7) == 0
+    assert cfg.tile_of_core(8) == 1
+    assert cfg.tile_of_core(127) == 15
+
+
+def test_tile_of_core_out_of_range():
+    cfg = SystemConfig()
+    with pytest.raises(ConfigError):
+        cfg.tile_of_core(128)
+    with pytest.raises(ConfigError):
+        cfg.tile_of_core(-1)
+
+
+def test_invalid_core_count():
+    with pytest.raises(ConfigError):
+        SystemConfig(num_cores=0)
+
+
+def test_cores_must_be_multiple_of_tiles():
+    with pytest.raises(ConfigError):
+        SystemConfig(num_cores=100)  # not a multiple of 16
+
+
+def test_invalid_conflict_policy():
+    with pytest.raises(ConfigError):
+        SystemConfig(conflict_policy="coin_flip")
+
+
+def test_cache_geometry_counts():
+    geom = CacheGeometry(size_bytes=32 * 1024, ways=8, latency=1)
+    assert geom.num_lines == 512
+    assert geom.num_sets == 64
+
+
+def test_cache_geometry_invalid():
+    with pytest.raises(ConfigError):
+        CacheGeometry(size_bytes=-1, ways=8, latency=1).validate()
+    with pytest.raises(ConfigError):
+        CacheGeometry(size_bytes=1024, ways=0, latency=1).validate()
+
+
+def test_zero_size_disables_capacity():
+    geom = CacheGeometry(size_bytes=0, ways=8, latency=1)
+    geom.validate()
+    assert geom.num_sets == 0
+
+
+def test_replace_returns_validated_copy():
+    cfg = SystemConfig()
+    cfg2 = cfg.replace(num_cores=64)
+    assert cfg2.num_cores == 64
+    assert cfg.num_cores == 128
+    with pytest.raises(ConfigError):
+        cfg.replace(num_cores=-3)
+
+
+def test_describe_contains_key_rows():
+    text = SystemConfig().describe()
+    assert "128 cores" in text
+    assert "64 MB shared" in text
+    assert "4x4 mesh" in text
+    assert "136-cycle" in text
+
+
+def test_small_config():
+    cfg = small_config(num_cores=8)
+    assert cfg.num_cores == 8
+    assert cfg.noc.num_tiles == 4
+    assert cfg.l1.latency == 1  # keeps Table I latencies
+
+
+def test_small_config_override():
+    cfg = small_config(num_cores=4, commtm_enabled=False, seed=7)
+    assert not cfg.commtm_enabled
+    assert cfg.seed == 7
+
+
+def test_noc_validation():
+    with pytest.raises(ConfigError):
+        NocConfig(mesh_width=0).validate()

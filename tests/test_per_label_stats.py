@@ -1,0 +1,74 @@
+"""Per-label statistics: labeled-op and reduction profiling."""
+
+from repro import Atomic, LabeledLoad, LabeledStore, Load, Machine
+from repro.core.labels import add_label, min_label
+from repro.params import small_config
+
+
+def test_labeled_ops_counted_per_label():
+    machine = Machine(small_config(num_cores=4))
+    add = machine.register_label(add_label())
+    mi = machine.register_label(min_label())
+    a = machine.alloc.alloc_line()
+    b = machine.alloc.alloc_line()
+    machine.seed_word(b, None)
+
+    def txn(ctx):
+        v = yield LabeledLoad(a, add)
+        yield LabeledStore(a, add, v + 1)
+        m = yield LabeledLoad(b, mi)
+        if m is None or 5 < m:
+            yield LabeledStore(b, mi, 5)
+
+    def body(ctx):
+        for _ in range(3):
+            yield Atomic(txn)
+
+    machine.run_spmd(body, 2)
+    stats = machine.stats
+    assert stats.labeled_by_label["ADD"] == 12   # 2 per txn x 6 txns
+    assert stats.labeled_by_label["MIN"] >= 6    # load always, store once
+    assert sum(stats.labeled_by_label.values()) == stats.labeled_instructions
+
+
+def test_reductions_counted_per_label():
+    machine = Machine(small_config(num_cores=4))
+    add = machine.register_label(add_label())
+    a = machine.alloc.alloc_line()
+
+    def adder(ctx):
+        v = yield LabeledLoad(a, add)
+        yield LabeledStore(a, add, v + 1)
+
+    def reader(ctx):
+        from repro.runtime.ops import Work
+        yield Work(3000)
+        v = yield Load(a)
+        return v
+
+    def body(ctx):
+        if ctx.tid < 3:
+            yield Atomic(adder)
+        else:
+            yield Atomic(reader)
+
+    machine.run_spmd(body, 4)
+    assert machine.stats.reductions_by_label.get("ADD", 0) == \
+        machine.stats.reductions
+    assert machine.stats.reductions >= 1
+
+
+def test_baseline_has_no_per_label_counts():
+    machine = Machine(small_config(num_cores=4, commtm_enabled=False))
+    add = machine.register_label(add_label())
+    a = machine.alloc.alloc_line()
+
+    def txn(ctx):
+        v = yield LabeledLoad(a, add)
+        yield LabeledStore(a, add, v + 1)
+
+    def body(ctx):
+        yield Atomic(txn)
+
+    machine.run_spmd(body, 2)
+    assert not machine.stats.labeled_by_label

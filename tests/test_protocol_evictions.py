@@ -1,0 +1,106 @@
+"""Evictions (Sec. III-B5): private U evictions (sole sharer writeback vs
+forward-to-random-sharer), L3 inclusion evictions with reduction."""
+
+import pytest
+
+from repro import Machine
+from repro.coherence.messages import Requester
+from repro.coherence.states import State
+from repro.core.labels import add_label
+from repro.params import CacheGeometry, small_config
+
+
+def req(core):
+    return Requester(core=core, ts=None, now=0)
+
+
+def tiny_private_machine(l2_lines=2):
+    """Machine whose private caches hold only a couple of lines."""
+    cfg = small_config(
+        num_cores=4,
+        l1=CacheGeometry(size_bytes=l2_lines * 64, ways=1, latency=1),
+        l2=CacheGeometry(size_bytes=l2_lines * 64, ways=1, latency=6),
+    )
+    machine = Machine(cfg)
+    add = machine.register_label(add_label())
+    return machine, machine.msys, add
+
+
+class TestPrivateEvictions:
+    def test_clean_eviction_drops_sharer(self):
+        machine, msys, add = tiny_private_machine(l2_lines=2)
+        msys.load(0, 0x1000, req(0))
+        msys.load(0, 0x2000, req(0))
+        msys.load(0, 0x3000, req(0))  # evicts 0x1000
+        ent = msys.directory.peek(0x1000 // 64)
+        assert ent.unshared  # no silent drops: the directory knows
+
+    def test_dirty_eviction_writes_back(self):
+        machine, msys, add = tiny_private_machine(l2_lines=2)
+        msys.store(0, 0x1000, 77, req(0))
+        msys.load(0, 0x2000, req(0))
+        msys.load(0, 0x3000, req(0))
+        ent = msys.directory.peek(0x1000 // 64)
+        assert ent.unshared
+        assert ent.words[0] == 77
+        assert machine.stats.writebacks >= 1
+
+    def test_sole_u_eviction_is_dirty_writeback(self):
+        machine, msys, add = tiny_private_machine(l2_lines=2)
+        machine.seed_word(0x1000, 10)
+        msys.labeled_load(0, 0x1000, add, req(0))
+        msys.labeled_store(0, 0x1000, add, 16, req(0))
+        msys.load(0, 0x2000, req(0))
+        msys.load(0, 0x3000, req(0))  # evicts the U line
+        ent = msys.directory.peek(0x1000 // 64)
+        assert ent.unshared
+        assert ent.words[0] == 16
+        assert machine.stats.u_evictions == 1
+
+    def test_u_eviction_forwards_to_sharer(self):
+        machine, msys, add = tiny_private_machine(l2_lines=2)
+        machine.seed_word(0x1000, 10)
+        msys.labeled_load(0, 0x1000, add, req(0))   # holds 10
+        msys.labeled_load(1, 0x1000, add, req(1))   # identity
+        msys.labeled_store(1, 0x1000, add, 5, req(1))
+        # Evict core 1's U line by filling its private cache.
+        msys.load(1, 0x2000, req(1))
+        msys.load(1, 0x3000, req(1))
+        ent = msys.directory.peek(0x1000 // 64)
+        assert ent.u_sharers == {0}
+        # Core 0 absorbed the evicted partial: 10 + 5.
+        assert msys.caches[0].lookup(0x1000 // 64).words[0] == 15
+        assert msys.peek_word(0x1000) == 15
+
+
+class TestL3Evictions:
+    def tiny_l3_machine(self):
+        cfg = small_config(
+            num_cores=4,
+            l3=CacheGeometry(size_bytes=4 * 64, ways=1, latency=15),
+            l3_banks=1,
+        )
+        machine = Machine(cfg)
+        add = machine.register_label(add_label())
+        return machine, machine.msys, add
+
+    def test_l3_eviction_invalidate_owner(self):
+        machine, msys, add = self.tiny_l3_machine()
+        msys.store(0, 0x1000, 5, req(0))
+        for i in range(1, 5):
+            msys.load(1, 0x1000 + i * 0x40, req(1))
+        # Line 0x1000 was evicted from the inclusive L3.
+        assert msys.state_of(0, 0x1000) is State.I
+        assert machine.memory.read_word(0x1000) == 5
+
+    def test_l3_eviction_reduces_u_lines(self):
+        machine, msys, add = self.tiny_l3_machine()
+        machine.seed_word(0x1000, 3)
+        msys.labeled_load(0, 0x1000, add, req(0))
+        msys.labeled_load(1, 0x1000, add, req(1))
+        msys.labeled_store(1, 0x1000, add, 4, req(1))
+        for i in range(1, 5):
+            msys.load(2, 0x1000 + i * 0x40, req(2))
+        assert msys.state_of(0, 0x1000) is State.I
+        assert msys.state_of(1, 0x1000) is State.I
+        assert machine.memory.read_word(0x1000) == 7  # 3 + 4 reduced

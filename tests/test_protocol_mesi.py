@@ -1,0 +1,145 @@
+"""MESI protocol behaviour through the MemorySystem (non-transactional)."""
+
+import pytest
+
+from repro import Machine
+from repro.coherence.messages import Requester
+from repro.coherence.states import State
+from repro.params import small_config
+
+
+def make():
+    machine = Machine(small_config(num_cores=4))
+    return machine, machine.msys
+
+
+def req(core):
+    return Requester(core=core, ts=None, now=0)
+
+
+class TestLoads:
+    def test_first_load_gets_exclusive(self):
+        machine, msys = make()
+        machine.seed_word(0x1000, 42)
+        res = msys.load(0, 0x1000, req(0))
+        assert res.value == 42
+        assert msys.state_of(0, 0x1000) is State.E
+
+    def test_second_load_downgrades_to_shared(self):
+        machine, msys = make()
+        msys.load(0, 0x1000, req(0))
+        msys.load(1, 0x1000, req(1))
+        assert msys.state_of(0, 0x1000) is State.S
+        assert msys.state_of(1, 0x1000) is State.S
+
+    def test_load_hit_is_cheap(self):
+        machine, msys = make()
+        msys.load(0, 0x1000, req(0))
+        res = msys.load(0, 0x1000, req(0))
+        assert res.cycles == machine.config.l1.latency
+
+    def test_miss_charges_directory_and_memory(self):
+        machine, msys = make()
+        res = msys.load(0, 0x1000, req(0))
+        assert res.cycles >= machine.config.mem_latency
+
+    def test_load_from_modified_owner_forwards_data(self):
+        machine, msys = make()
+        msys.store(0, 0x1000, 7, req(0))
+        res = msys.load(1, 0x1000, req(1))
+        assert res.value == 7
+        assert msys.state_of(0, 0x1000) is State.S
+        assert msys.state_of(1, 0x1000) is State.S
+        # The writeback made the L3 copy current.
+        assert msys.directory.peek(0x1000 // 64).words[0] == 7
+
+
+class TestStores:
+    def test_store_gets_modified(self):
+        machine, msys = make()
+        msys.store(0, 0x1000, 9, req(0))
+        assert msys.state_of(0, 0x1000) is State.M
+        assert msys.peek_word(0x1000) == 9
+
+    def test_silent_e_to_m_upgrade(self):
+        machine, msys = make()
+        msys.load(0, 0x1000, req(0))
+        getx_before = machine.stats.getx
+        msys.store(0, 0x1000, 1, req(0))
+        assert machine.stats.getx == getx_before  # silent upgrade
+        assert msys.state_of(0, 0x1000) is State.M
+
+    def test_s_to_m_upgrade_invalidates_sharers(self):
+        machine, msys = make()
+        msys.load(0, 0x1000, req(0))
+        msys.load(1, 0x1000, req(1))
+        msys.store(0, 0x1000, 5, req(0))
+        assert msys.state_of(0, 0x1000) is State.M
+        assert msys.state_of(1, 0x1000) is State.I
+        assert machine.stats.invalidations >= 1
+
+    def test_store_invalidates_modified_owner(self):
+        machine, msys = make()
+        msys.store(0, 0x1000, 1, req(0))
+        msys.store(1, 0x1000, 2, req(1))
+        assert msys.state_of(0, 0x1000) is State.I
+        assert msys.state_of(1, 0x1000) is State.M
+        assert msys.peek_word(0x1000) == 2
+
+    def test_store_preserves_other_words(self):
+        machine, msys = make()
+        machine.seed_word(0x1008, 77)
+        msys.store(0, 0x1000, 1, req(0))
+        assert msys.peek_word(0x1008) == 77
+
+
+class TestTrafficCounters:
+    def test_gets_counted_on_miss_only(self):
+        machine, msys = make()
+        msys.load(0, 0x1000, req(0))
+        msys.load(0, 0x1000, req(0))
+        assert machine.stats.gets == 1
+
+    def test_getx_counted(self):
+        machine, msys = make()
+        msys.store(0, 0x1000, 1, req(0))
+        assert machine.stats.getx == 1
+        assert machine.stats.gets == 0
+
+    def test_l3_miss_counted_once(self):
+        machine, msys = make()
+        msys.load(0, 0x1000, req(0))
+        msys.load(1, 0x1000, req(1))
+        assert machine.stats.l3_misses == 1
+
+
+class TestOccupancy:
+    def test_contended_line_serializes(self):
+        machine, msys = make()
+        # Two cores miss on the same line at the same local time: the
+        # second request must stall behind the first.
+        r0 = msys.load(0, 0x1000, Requester(0, None, now=0))
+        r1 = msys.store(1, 0x1000, 1, Requester(1, None, now=0))
+        assert r1.cycles > r0.cycles
+
+    def test_different_lines_do_not_serialize(self):
+        machine, msys = make()
+        r0 = msys.load(0, 0x1000, Requester(0, None, now=0))
+        r1 = msys.load(1, 0x2000, Requester(1, None, now=0))
+        # Same path length, no stall.
+        base = msys.load(2, 0x3000, Requester(2, None, now=0))
+        assert r1.cycles == base.cycles
+
+    def test_private_hits_never_stall(self):
+        machine, msys = make()
+        msys.load(0, 0x1000, Requester(0, None, now=0))
+        msys.store(1, 0x1040, 1, Requester(1, None, now=0))
+        res = msys.load(0, 0x1000, Requester(0, None, now=0))
+        assert res.dir_line is None
+        assert res.cycles == machine.config.l1.latency
+
+    def test_untimed_requests_skip_occupancy(self):
+        machine, msys = make()
+        res = msys.load(0, 0x1000, Requester(0, None, now=None))
+        assert res.cycles > 0  # latency still charged
+        assert not msys._line_busy  # but no reservation recorded

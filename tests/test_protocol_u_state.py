@@ -1,0 +1,239 @@
+"""The U state: GETU cases 1-5 (Sec. III-B3), reductions, gathers,
+evictions — exercised directly through the MemorySystem (non-speculative
+requesters, so no conflicts arise)."""
+
+import pytest
+
+from repro import Machine
+from repro.coherence.messages import Requester
+from repro.coherence.states import State
+from repro.core.labels import add_label, min_label, oput_label
+from repro.errors import ReductionError
+from repro.params import small_config
+
+
+def make(**kw):
+    machine = Machine(small_config(num_cores=4, **kw))
+    add = machine.register_label(add_label())
+    return machine, machine.msys, add
+
+
+def req(core):
+    return Requester(core=core, ts=None, now=0)
+
+
+ADDR = 0x1000
+
+
+class TestGetuCases:
+    def test_case1_first_requester_gets_data(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 24)
+        res = msys.labeled_load(0, ADDR, add, req(0))
+        assert res.value == 24
+        assert msys.state_of(0, ADDR) is State.U
+
+    def test_case2_s_sharers_invalidated(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 24)
+        msys.load(0, ADDR, req(0))
+        msys.load(1, ADDR, req(1))
+        res = msys.labeled_load(2, ADDR, add, req(2))
+        assert res.value == 24  # data served (first U holder)
+        assert msys.state_of(0, ADDR) is State.I
+        assert msys.state_of(1, ADDR) is State.I
+        assert msys.state_of(2, ADDR) is State.U
+
+    def test_case3_different_label_reduces(self):
+        machine, msys, add = make()
+        mi = machine.register_label(min_label())
+        machine.seed_word(ADDR, 10)
+        msys.labeled_store(0, ADDR, add, 11, req(0))
+        msys.labeled_load(1, ADDR, add, req(1))
+        msys.labeled_store(1, ADDR, add, 5, req(1))
+        # MIN-labeled access: reduce the ADD partials (11 + 5), re-enter U
+        # with the MIN label holding the full value.
+        res = msys.labeled_load(2, ADDR, mi, req(2))
+        assert res.value == 16
+        assert msys.state_of(2, ADDR) is State.U
+        assert msys.caches[2].lookup(ADDR // 64).label is mi
+        assert msys.state_of(0, ADDR) is State.I
+        assert msys.state_of(1, ADDR) is State.I
+
+    def test_case4_same_label_identity_init(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 24)
+        msys.labeled_load(0, ADDR, add, req(0))
+        res = msys.labeled_load(1, ADDR, add, req(1))
+        assert res.value == 0  # identity, not the data
+        assert msys.state_of(0, ADDR) is State.U
+        assert msys.state_of(1, ADDR) is State.U
+
+    def test_case4_no_invalidation_traffic(self):
+        machine, msys, add = make()
+        msys.labeled_load(0, ADDR, add, req(0))
+        inv_before = machine.stats.invalidations
+        msys.labeled_load(1, ADDR, add, req(1))
+        assert machine.stats.invalidations == inv_before
+
+    def test_case5_owner_downgraded_keeps_data(self):
+        machine, msys, add = make()
+        msys.store(0, ADDR, 24, req(0))
+        res = msys.labeled_load(1, ADDR, add, req(1))
+        assert res.value == 0  # identity at the requester (Fig. 4b)
+        assert msys.state_of(0, ADDR) is State.U
+        assert msys.state_of(1, ADDR) is State.U
+        assert msys.caches[0].lookup(ADDR // 64).words[0] == 24
+
+    def test_getu_counted(self):
+        machine, msys, add = make()
+        msys.labeled_load(0, ADDR, add, req(0))
+        msys.labeled_load(1, ADDR, add, req(1))
+        assert machine.stats.getu == 2
+
+    def test_labeled_hit_in_m_stays_m(self):
+        machine, msys, add = make()
+        msys.store(0, ADDR, 10, req(0))
+        res = msys.labeled_load(0, ADDR, add, req(0))
+        assert res.value == 10
+        assert msys.state_of(0, ADDR) is State.M
+
+
+class TestReductionInvariant:
+    def test_concurrent_adds_reduce_to_sum(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 100)
+        for core in range(4):
+            v = msys.labeled_load(core, ADDR, add, req(core)).value
+            msys.labeled_store(core, ADDR, add, v + core + 1, req(core))
+        # peek computes the reduced value without protocol actions.
+        assert msys.peek_word(ADDR) == 100 + 1 + 2 + 3 + 4
+        # A conventional load triggers the real reduction.
+        res = msys.load(3, ADDR, req(3))
+        assert res.value == 110
+        assert msys.state_of(3, ADDR) is State.M
+        for core in range(3):
+            assert msys.state_of(core, ADDR) is State.I
+        assert machine.stats.reductions == 1
+
+    def test_reduction_on_store(self):
+        machine, msys, add = make()
+        msys.labeled_store(0, ADDR, add, 5, req(0))
+        msys.labeled_load(1, ADDR, add, req(1))
+        msys.labeled_store(1, ADDR, add, 3, req(1))
+        msys.store(2, ADDR, 999, req(2))
+        assert msys.peek_word(ADDR) == 999  # store overwrote merged value
+        assert msys.state_of(2, ADDR) is State.M
+
+    def test_sole_sharer_upgrade_without_reduction(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 7)
+        msys.labeled_store(0, ADDR, add, 8, req(0))
+        reductions_before = machine.stats.reductions
+        res = msys.load(0, ADDR, req(0))
+        assert res.value == 8
+        assert machine.stats.reductions == reductions_before
+        assert msys.state_of(0, ADDR) is State.M
+
+    def test_unlabeled_read_by_u_holder_with_other_sharers(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 10)
+        msys.labeled_store(0, ADDR, add, 11, req(0))  # has data: 11
+        msys.labeled_load(1, ADDR, add, req(1))
+        msys.labeled_store(1, ADDR, add, 4, req(1))   # identity + 4
+        res = msys.load(0, ADDR, req(0))
+        assert res.value == 15
+        assert msys.state_of(0, ADDR) is State.M
+        assert msys.state_of(1, ADDR) is State.I
+
+    def test_identity_padding_preserves_neighbours(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR + 8, 55)  # another counter, same line
+        msys.labeled_load(0, ADDR, add, req(0))
+        msys.labeled_store(0, ADDR, add, 1, req(0))
+        msys.labeled_load(1, ADDR + 8, add, req(1))
+        msys.labeled_store(1, ADDR + 8, add, 100, req(1))
+        assert msys.load(2, ADDR, req(2)).value == 1
+        assert msys.load(2, ADDR + 8, req(2)).value == 155
+
+
+class TestGather:
+    def test_gather_redistributes(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 16)
+        msys.labeled_load(0, ADDR, add, req(0))   # core 0 holds 16
+        msys.labeled_load(1, ADDR, add, req(1))   # identity
+        res = msys.load_gather(1, ADDR, add, req(1))
+        # Splitter donates ceil(16/2) = 8.
+        assert res.value == 8
+        assert msys.caches[0].lookup(ADDR // 64).words[0] == 8
+        assert msys.state_of(0, ADDR) is State.U
+        assert msys.state_of(1, ADDR) is State.U
+        assert machine.stats.gathers == 1
+        assert machine.stats.splits == 1
+
+    def test_gather_conserves_total(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 21)
+        for core in range(4):
+            msys.labeled_load(core, ADDR, add, req(core))
+        msys.load_gather(3, ADDR, add, req(3))
+        assert msys.peek_word(ADDR) == 21
+
+    def test_gather_without_other_sharers(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 5)
+        msys.labeled_load(0, ADDR, add, req(0))
+        res = msys.load_gather(0, ADDR, add, req(0))
+        assert res.value == 5
+        assert machine.stats.gathers == 0  # nothing to gather
+
+    def test_gather_acquires_u_first(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 12)
+        res = msys.load_gather(0, ADDR, add, req(0))
+        assert res.value == 12
+        assert msys.state_of(0, ADDR) is State.U
+
+    def test_gather_disabled_config(self):
+        machine, msys, add = make(gather_enabled=False)
+        machine.seed_word(ADDR, 16)
+        msys.labeled_load(0, ADDR, add, req(0))
+        msys.labeled_load(1, ADDR, add, req(1))
+        res = msys.load_gather(1, ADDR, add, req(1))
+        assert res.value == 0  # plain labeled load of the local partial
+        assert machine.stats.gathers == 0
+
+    def test_gather_does_not_occupy_line_for_merge(self):
+        machine, msys, add = make()
+        machine.seed_word(ADDR, 100)
+        for core in range(3):
+            msys.labeled_load(core, ADDR, add, req(core))
+        busy_before = dict(msys._line_busy)
+        res = msys.load_gather(2, ADDR, add, Requester(2, None, now=1000))
+        busy = msys._line_busy[ADDR // 64]
+        # The line is released before the full op latency elapses.
+        assert busy - 1000 < res.cycles
+
+
+class TestHandlerRestrictions:
+    def test_handler_cannot_touch_u_lines(self):
+        machine, msys, add = make()
+        ctx = msys.handler_context(0, __import__(
+            "repro.coherence.messages", fromlist=["AccessResult"]
+        ).AccessResult())
+        msys.labeled_load(1, 0x2000, add, req(1))
+        with pytest.raises(ReductionError):
+            ctx.read(0x2000)
+        with pytest.raises(ReductionError):
+            ctx.write(0x2000, 1)
+
+    def test_handler_plain_access_ok(self):
+        machine, msys, add = make()
+        from repro.coherence.messages import AccessResult
+        res = AccessResult()
+        ctx = msys.handler_context(0, res)
+        ctx.write(0x3000, 9)
+        assert ctx.read(0x3000) == 9
+        assert res.cycles > 0  # charged to the blocked request
+        assert machine.stats.shadow_thread_cycles > 0

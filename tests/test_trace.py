@@ -1,0 +1,146 @@
+"""Execution tracer and timeline rendering."""
+
+import pytest
+
+from repro import Atomic, LabeledLoad, LabeledStore, Load, Machine, Work
+from repro.core.labels import add_label
+from repro.params import small_config
+from repro.runtime.ops import Barrier
+from repro.sim.trace import EventKind, Tracer, render_timeline
+
+
+def traced_machine(**kw):
+    machine = Machine(small_config(num_cores=4, trace_enabled=True, **kw))
+    machine.register_label(add_label())
+    return machine
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0, 0, EventKind.TX_BEGIN)
+        assert tracer.events == []
+
+    def test_limit_respected(self):
+        tracer = Tracer(enabled=True, limit=2)
+        for i in range(5):
+            tracer.record(i, 0, EventKind.TX_BEGIN)
+        assert len(tracer.events) == 2
+
+    def test_counts_and_for_core(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0, 0, EventKind.TX_BEGIN)
+        tracer.record(1, 0, EventKind.TX_COMMIT)
+        tracer.record(2, 1, EventKind.TX_ABORT)
+        assert tracer.counts()[EventKind.TX_BEGIN] == 1
+        assert len(tracer.for_core(0)) == 2
+
+
+class TestEngineTracing:
+    def test_commits_and_begins_recorded(self):
+        machine = traced_machine()
+        addr = machine.alloc.alloc_line()
+
+        def txn(ctx):
+            yield Work(5)
+
+        def body(ctx):
+            for _ in range(3):
+                yield Atomic(txn)
+
+        machine.run_spmd(body, 2)
+        counts = machine.tracer.counts()
+        assert counts[EventKind.TX_BEGIN] == 6
+        assert counts[EventKind.TX_COMMIT] == 6
+        assert EventKind.TX_ABORT not in counts
+
+    def test_aborts_recorded_with_cause(self):
+        machine = traced_machine()
+        addr = machine.alloc.alloc_line()
+
+        from repro.runtime.ops import Store
+
+        def txn2(ctx):
+            v = yield Load(addr)
+            yield Work(50)
+            yield Store(addr, v + 1)
+
+        def body(ctx):
+            for _ in range(10):
+                yield Atomic(txn2)
+
+        machine.run_spmd(body, 4)
+        aborts = [e for e in machine.tracer.events
+                  if e.kind is EventKind.TX_ABORT]
+        assert aborts and all(e.detail for e in aborts)
+
+    def test_reductions_and_gathers_recorded(self):
+        machine = traced_machine()
+        add = machine.labels.get("ADD")
+        addr = machine.alloc.alloc_line()
+        machine.seed_word(addr, 8)
+        from repro.runtime.ops import LoadGather
+
+        def holder(ctx):
+            v = yield LabeledLoad(addr, add)
+            yield LabeledStore(addr, add, v + 0)
+
+        def gatherer(ctx):
+            v = yield LoadGather(addr, add)
+            return v
+
+        def reader(ctx):
+            v = yield Load(addr)
+            return v
+
+        def body(ctx):
+            if ctx.tid < 2:
+                yield Atomic(holder)
+                yield Work(1000)
+            elif ctx.tid == 2:
+                yield Work(300)
+                yield Atomic(gatherer)
+                yield Work(700)
+            else:
+                yield Work(600)
+                yield Atomic(reader)
+
+        machine.run_spmd(body, 4)
+        counts = machine.tracer.counts()
+        assert counts.get(EventKind.GATHER, 0) >= 1
+        assert counts.get(EventKind.REDUCTION, 0) >= 1
+
+    def test_barrier_recorded(self):
+        machine = traced_machine()
+
+        def body(ctx):
+            yield Work(1)
+            yield Barrier()
+
+        machine.run_spmd(body, 3)
+        assert machine.tracer.counts()[EventKind.BARRIER] == 3
+
+
+class TestRenderTimeline:
+    def test_render_contains_lanes_and_legend(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0, 0, EventKind.TX_BEGIN)
+        tracer.record(100, 0, EventKind.TX_COMMIT)
+        tracer.record(50, 1, EventKind.TX_ABORT)
+        out = render_timeline(tracer, title="T")
+        assert out.startswith("T")
+        assert "core   0 |" in out
+        assert "core   1 |" in out
+        assert "legend:" in out
+        assert "C" in out and "x" in out
+
+    def test_empty_tracer(self):
+        assert render_timeline(Tracer(enabled=True)) == "(no events)"
+
+    def test_severity_wins_in_shared_column(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0, 0, EventKind.TX_BEGIN)
+        tracer.record(0, 0, EventKind.TX_ABORT)  # same column
+        out = render_timeline(tracer, width=10)
+        lane = next(l for l in out.splitlines() if l.startswith("core"))
+        assert "x" in lane and "(" not in lane

@@ -1,0 +1,106 @@
+"""Microbenchmark builders (Sec. VI): construction, execution, and the
+built-in verifiers, on both systems."""
+
+import pytest
+
+from repro.harness import run_workload
+from repro.workloads.micro import (
+    counter,
+    linked_list,
+    ordered_put,
+    refcount,
+    topk,
+    split_ops,
+)
+
+
+class TestSplitOps:
+    def test_even_division(self):
+        assert split_ops(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_to_first(self):
+        assert split_ops(10, 4) == [3, 3, 2, 2]
+
+    def test_total_preserved(self):
+        for total in (1, 7, 100):
+            for threads in (1, 3, 8):
+                assert sum(split_ops(total, threads)) == total
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            split_ops(10, 0)
+
+
+MICROS = [
+    ("counter", counter.build, {}),
+    ("refcount", refcount.build, {}),
+    ("list_enq", linked_list.build, {"enqueue_fraction": 1.0}),
+    ("list_mix", linked_list.build,
+     {"enqueue_fraction": 0.5, "prefill": 64}),
+    ("oput", ordered_put.build, {}),
+    ("topk", topk.build, {"k": 8}),
+]
+
+
+@pytest.mark.parametrize("name,build,kw", MICROS,
+                         ids=[m[0] for m in MICROS])
+@pytest.mark.parametrize("commtm", [True, False], ids=["commtm", "baseline"])
+def test_micro_runs_and_verifies(name, build, kw, commtm):
+    result = run_workload(build, 4, num_cores=16, commtm=commtm,
+                          total_ops=120, **kw)
+    assert result.cycles > 0
+    assert result.stats.commits > 0
+
+
+def test_counter_expected_total_in_info():
+    result = run_workload(counter.build, 2, num_cores=16, total_ops=50)
+    assert result.info["total_ops"] == 50
+
+
+def test_counter_commtm_avoids_aborts():
+    commtm = run_workload(counter.build, 8, num_cores=16, total_ops=400)
+    base = run_workload(counter.build, 8, num_cores=16, total_ops=400,
+                        commtm=False)
+    assert commtm.stats.aborts == 0
+    assert base.stats.aborts > 0
+    assert commtm.cycles < base.cycles
+
+
+def test_refcount_gather_beats_no_gather_at_scale():
+    with_g = run_workload(refcount.build, 16, num_cores=16, total_ops=2000)
+    without = run_workload(refcount.build, 16, num_cores=16, total_ops=2000,
+                           use_gather=False)
+    assert with_g.cycles < without.cycles
+    assert with_g.stats.gathers > 0
+    assert without.stats.gathers == 0
+    assert without.stats.reductions > with_g.stats.reductions
+
+
+def test_single_thread_no_gathers_no_conflicts():
+    result = run_workload(refcount.build, 1, num_cores=16, total_ops=100)
+    assert result.stats.aborts == 0
+    assert result.stats.gathers == 0
+
+
+def test_linked_list_baseline_prefill_in_memory():
+    result = run_workload(linked_list.build, 2, num_cores=16, commtm=False,
+                          total_ops=60, enqueue_fraction=0.5, prefill=16)
+    assert result.cycles > 0
+
+
+def test_topk_labeled_instructions_counted():
+    result = run_workload(topk.build, 4, num_cores=16, total_ops=100, k=8)
+    assert result.stats.labeled_instructions > 0
+    base = run_workload(topk.build, 4, num_cores=16, total_ops=100, k=8,
+                        commtm=False)
+    assert base.stats.labeled_instructions == 0
+
+
+def test_oput_baseline_partially_scales():
+    """Only smaller keys cause conflicting writes in the baseline, so its
+    abort rate must be well below the counter benchmark's."""
+    oput = run_workload(ordered_put.build, 8, num_cores=16, total_ops=400,
+                        commtm=False)
+    cnt = run_workload(counter.build, 8, num_cores=16, total_ops=400,
+                       commtm=False)
+    assert oput.stats.abort_rate < cnt.stats.abort_rate
