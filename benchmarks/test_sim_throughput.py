@@ -1,0 +1,97 @@
+"""Simulator throughput benchmark.
+
+Measures raw simulation speed (simulated instructions per wall-clock
+second) on the hot-loop workloads, plus sweep wall-clock with and without
+worker processes and the on-disk result cache. Writes
+``BENCH_sim_throughput.json`` at the repository root so runs are
+comparable across commits.
+
+Numbers are best-of-N minimum times (robust against scheduler noise) and
+the report records ``cpu_count``: on a single-CPU machine ``--jobs`` adds
+process overhead instead of speedup, and only the cache shows the sweep
+win. Simulated *results* are identical in every mode — only wall-clock
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness import ResultCache, make_spec, run_points
+from repro.harness.runner import run_workload
+from repro.workloads.apps import kmeans
+from repro.workloads.micro import counter
+
+OUT_PATH = Path(__file__).parent.parent / "BENCH_sim_throughput.json"
+
+SINGLE_RUNS = {
+    "counter_commtm": (counter.build,
+                       dict(num_cores=16, commtm=True, total_ops=4000), 5),
+    "counter_baseline": (counter.build,
+                         dict(num_cores=16, commtm=False, total_ops=1000), 5),
+    "kmeans_commtm": (kmeans.build,
+                      dict(num_cores=16, commtm=True, num_points=256,
+                           clusters=8, iterations=2), 4),
+}
+
+SWEEP_THREADS = (1, 2, 4, 8)
+
+
+def _best_of(reps, fn):
+    best, result = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _sweep_specs():
+    return [
+        make_spec(counter.build, t, num_cores=16, commtm=commtm,
+                  total_ops=1500)
+        for t in SWEEP_THREADS for commtm in (False, True)
+    ]
+
+
+def test_sim_throughput(tmp_path):
+    report = {
+        "cpu_count": os.cpu_count(),
+        "single_run_ops_per_sec": {},
+        "sweep_seconds": {},
+    }
+
+    for name, (build, params, reps) in SINGLE_RUNS.items():
+        wall, result = _best_of(
+            reps, lambda b=build, p=params: run_workload(b, 8, **p))
+        ops_per_sec = result.stats.instructions / wall
+        assert ops_per_sec > 0
+        report["single_run_ops_per_sec"][name] = round(ops_per_sec)
+
+    specs = _sweep_specs()
+    serial_wall, serial_results = _best_of(
+        2, lambda: run_points(specs, jobs=1))
+    par_wall, par_results = _best_of(2, lambda: run_points(specs, jobs=4))
+    assert [r.cycles for r in serial_results] \
+        == [r.cycles for r in par_results]
+
+    cache = ResultCache(tmp_path / "bench-cache")
+    run_points(specs, jobs=1, cache=cache)  # populate
+    warm = ResultCache(tmp_path / "bench-cache")
+    cached_wall, cached_results = _best_of(
+        3, lambda: run_points(specs, jobs=1, cache=warm))
+    assert [r.cycles for r in cached_results] \
+        == [r.cycles for r in serial_results]
+
+    report["sweep_seconds"] = {
+        "points": len(specs),
+        "serial": round(serial_wall, 4),
+        "jobs4": round(par_wall, 4),
+        "cached": round(cached_wall, 4),
+    }
+
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n=== sim throughput ===\n{json.dumps(report, indent=2)}")

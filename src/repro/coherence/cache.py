@@ -21,15 +21,25 @@ from ..params import CacheGeometry
 from .line import CacheLine
 from .states import State
 
+_I = State.I  # hot-path alias (lookup runs once per memory operation)
+
 
 class PrivateCache:
     """One core's private cache hierarchy."""
+
+    __slots__ = ("core", "l1_geom", "l2_geom", "_lines", "_l1",
+                 "_l1_capacity", "_l2_capacity",
+                 "eviction_hook", "spec_eviction_hook")
 
     def __init__(self, core: int, l1_geom: CacheGeometry,
                  l2_geom: CacheGeometry):
         self.core = core
         self.l1_geom = l1_geom
         self.l2_geom = l2_geom
+        # num_lines is a derived property; snapshot it so the per-access
+        # capacity checks don't recompute the division.
+        self._l1_capacity = l1_geom.num_lines
+        self._l2_capacity = l2_geom.num_lines
         self._lines: "OrderedDict[int, CacheLine]" = OrderedDict()
         self._l1: "OrderedDict[int, None]" = OrderedDict()
         #: Set by the memory system: called with the victim CacheLine when
@@ -45,23 +55,26 @@ class PrivateCache:
         """Return the line if present (any state but I), else None.
         Does not touch LRU order."""
         entry = self._lines.get(line)
-        if entry is not None and entry.state is State.I:
+        if entry is not None and entry.state is _I:
             return None
         return entry
 
     def touch(self, line: int) -> bool:
         """Record an access for LRU purposes. Returns True if the access
         hits in the L1 (latency modelling)."""
-        if line in self._lines:
-            self._lines.move_to_end(line)
-        l1_hit = line in self._l1
-        self._l1[line] = None
-        self._l1.move_to_end(line)
-        self._enforce_l1_capacity()
+        lines = self._lines
+        l1 = self._l1
+        if line in lines:
+            lines.move_to_end(line)
+        l1_hit = line in l1
+        l1[line] = None
+        l1.move_to_end(line)
+        if 0 < self._l1_capacity < len(l1):
+            self._enforce_l1_capacity()
         return l1_hit
 
     def _enforce_l1_capacity(self) -> None:
-        capacity = self.l1_geom.num_lines
+        capacity = self._l1_capacity
         if capacity <= 0:
             return
         while len(self._l1) > capacity:
@@ -84,7 +97,7 @@ class PrivateCache:
         self._enforce_l2_capacity()
 
     def _enforce_l2_capacity(self) -> None:
-        capacity = self.l2_geom.num_lines
+        capacity = self._l2_capacity
         if capacity <= 0:
             return
         while len(self._lines) > capacity:

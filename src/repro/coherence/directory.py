@@ -18,7 +18,7 @@ from ..mem.memory import MainMemory
 from .states import State
 
 
-@dataclass
+@dataclass(slots=True)
 class DirEntry:
     """Directory state for one line."""
 

@@ -16,7 +16,7 @@ from ..errors import ProtocolError
 from .states import State
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One line in a private cache."""
 

@@ -27,7 +27,6 @@ class AccessKind(enum.Enum):
         return self in (AccessKind.STORE, AccessKind.LABELED_STORE)
 
 
-@dataclass(frozen=True)
 class Requester:
     """Identity of a memory request's issuer.
 
@@ -39,15 +38,26 @@ class Requester:
     queueing at the line's home directory bank (contended lines serialize
     their directory transactions). ``None`` (verification/flush accesses)
     skips occupancy modelling.
+
+    A plain slotted class rather than a (frozen) dataclass: one is built
+    per memory operation, and the dataclass ``object.__setattr__`` path
+    shows up in profiles. Treat instances as immutable.
     """
 
-    core: int
-    ts: Optional[int] = None
-    now: Optional[int] = None
+    __slots__ = ("core", "ts", "now")
+
+    def __init__(self, core: int, ts: Optional[int] = None,
+                 now: Optional[int] = None):
+        self.core = core
+        self.ts = ts
+        self.now = now
 
     @property
     def speculative(self) -> bool:
         return self.ts is not None
+
+    def __repr__(self) -> str:
+        return f"Requester(core={self.core}, ts={self.ts}, now={self.now})"
 
 
 #: Sentinel requester for actions initiated by the memory system itself
@@ -55,7 +65,7 @@ class Requester:
 SYSTEM = Requester(core=-1, ts=None)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one memory operation.
 

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Set
 from ..errors import ProtocolError, ReductionError
 from ..mem.address import line_of, word_index, check_word_aligned
 from ..mem.memory import MainMemory
-from ..params import SystemConfig
+from ..params import LINE_BYTES, SystemConfig, WORD_BYTES
 from ..sim.stats import Stats, WastedCause
 from ..core.labels import HandlerContext, Label, LabelRegistry
 from .cache import PrivateCache
@@ -41,6 +41,11 @@ from .line import CacheLine
 from .messages import AccessKind, AccessResult, Requester, SYSTEM
 from .noc import Mesh
 from .states import State
+
+# Hot-path aliases: the per-access handlers below compare states with `is`
+# against these module locals instead of looking up enum attributes, and
+# inline the line/word arithmetic of mem.address.
+_M, _E, _S, _U = State.M, State.E, State.S, State.U
 
 
 class Trigger(enum.Enum):
@@ -125,6 +130,24 @@ class MemorySystem:
         #: serialize (the effect that makes conventional HTMs flat-line on
         #: contended counters, and that U-state local hits bypass).
         self._line_busy: Dict[int, int] = {}
+        # Precomputed latency tables: directory round-trip latency and hop
+        # count depend only on (core tile, home bank), so the per-access
+        # mesh geometry walk collapses to two list lookups.
+        self._l3_banks = config.l3_banks
+        self._dir_rt = [
+            [self.mesh.round_trip(self._core_tile(core),
+                                  bank % config.noc.num_tiles)
+             for bank in range(config.l3_banks)]
+            for core in range(config.num_cores)
+        ]
+        self._dir_hops2 = [
+            [self.mesh.hops(self._core_tile(core),
+                            bank % config.noc.num_tiles) * 2
+             for bank in range(config.l3_banks)]
+            for core in range(config.num_cores)
+        ]
+        self._l1_latency = config.l1.latency
+        self._l12_latency = config.l1.latency + config.l2.latency
 
     # ------------------------------------------------------------------
     # Wiring
@@ -154,23 +177,21 @@ class MemorySystem:
         return self.config.tile_of_core(core)
 
     def _dir_round_trip(self, core: int, line_no: int) -> int:
-        return self.mesh.round_trip(self._core_tile(core),
-                                    self._bank_tile(line_no))
+        return self._dir_rt[core][line_no % self._l3_banks]
 
     def _private_lookup_cycles(self, l1_hit: bool) -> int:
         if l1_hit:
-            return self.config.l1.latency
-        return self.config.l1.latency + self.config.l2.latency
+            return self._l1_latency
+        return self._l12_latency
 
     def _charge_dir_access(self, core: int, line_no: int,
                            res: AccessResult) -> DirEntry:
         """Charge a directory transaction and return the entry."""
         was_miss = self.directory.was_miss(line_no)
         ent = self.directory.entry(line_no)
-        res.cycles += self._dir_round_trip(core, line_no)
-        res.cycles += self.config.l3.latency
-        self.stats.noc_hops += self.mesh.hops(self._core_tile(core),
-                                              self._bank_tile(line_no)) * 2
+        bank = line_no % self._l3_banks
+        res.cycles += self._dir_rt[core][bank] + self.config.l3.latency
+        self.stats.noc_hops += self._dir_hops2[core][bank]
         if was_miss:
             res.cycles += self.config.mem_latency
         res.dir_line = line_no
@@ -185,7 +206,9 @@ class MemorySystem:
         its own duration. Private-cache hits never stall — the heart of
         CommTM's concurrency benefit.
         """
-        if requester.now is None or res.dir_line is None:
+        if res.dir_line is None or requester.now is None:
+            # Private-cache hits (the common case) never transact with a
+            # directory and never stall.
             return res
         start = requester.now
         busy_until = self._line_busy.get(res.dir_line, 0)
@@ -424,16 +447,17 @@ class MemorySystem:
 
     def _load(self, core: int, addr: int, requester: Requester) -> AccessResult:
         res = AccessResult()
-        line_no = line_of(addr)
+        line_no = addr // LINE_BYTES
         cache = self.caches[core]
         entry = cache.lookup(line_no)
 
-        if entry is not None and entry.state.can_read:
-            l1_hit = cache.touch(line_no)
-            res.cycles += self._private_lookup_cycles(l1_hit)
-            if requester.speculative:
+        if entry is not None and (
+                (st := entry.state) is _M or st is _E or st is _S):
+            res.cycles += (self._l1_latency if cache.touch(line_no)
+                           else self._l12_latency)
+            if requester.ts is not None:
                 entry.spec_read = True
-            res.value = entry.words[word_index(addr)]
+            res.value = entry.words[addr % LINE_BYTES // WORD_BYTES]
             return res
 
         if entry is not None and entry.state is State.U:
@@ -526,13 +550,13 @@ class MemorySystem:
     def _store(self, core: int, addr: int, value: object,
                requester: Requester) -> AccessResult:
         res = AccessResult()
-        line_no = line_of(addr)
+        line_no = addr // LINE_BYTES
         cache = self.caches[core]
         entry = cache.lookup(line_no)
 
-        if entry is not None and entry.state.can_write:
-            l1_hit = cache.touch(line_no)
-            res.cycles += self._private_lookup_cycles(l1_hit)
+        if entry is not None and ((st := entry.state) is _M or st is _E):
+            res.cycles += (self._l1_latency if cache.touch(line_no)
+                           else self._l12_latency)
             self._write_word(entry, addr, value, requester, labeled=False)
             if entry.state is State.E:
                 entry.state = State.M  # silent upgrade
@@ -612,14 +636,14 @@ class MemorySystem:
 
     def _write_word(self, entry: CacheLine, addr: int, value: object,
                     requester: Requester, labeled: bool) -> None:
-        if requester.speculative:
+        if requester.ts is not None:
             entry.snapshot_before_write()
             if labeled:
                 entry.spec_labeled = True
             else:
                 entry.spec_written = True
-        entry.words = list(entry.words)
-        entry.words[word_index(addr)] = value
+        entry.words = words = list(entry.words)
+        words[addr % LINE_BYTES // WORD_BYTES] = value
         entry.dirty = True
         if entry.state is State.E:
             entry.state = State.M
@@ -632,40 +656,33 @@ class MemorySystem:
                         requester: Requester, value: object,
                         is_store: bool) -> AccessResult:
         res = AccessResult()
-        line_no = line_of(addr)
+        line_no = addr // LINE_BYTES
         cache = self.caches[core]
         entry = cache.lookup(line_no)
 
-        if entry is not None and entry.state in (State.M, State.E):
-            # M satisfies all requests (Fig. 3); the core holds the full
-            # value, which is a valid sole partial value.
-            l1_hit = cache.touch(line_no)
-            res.cycles += self._private_lookup_cycles(l1_hit)
-            if is_store:
-                self._write_word(entry, addr, value, requester, labeled=True)
-            else:
-                if requester.speculative:
-                    entry.spec_labeled = True
-                res.value = entry.words[word_index(addr)]
-            return res
-
-        if entry is not None and entry.state is State.U:
-            if entry.label is label:
-                l1_hit = cache.touch(line_no)
-                res.cycles += self._private_lookup_cycles(l1_hit)
+        if entry is not None:
+            st = entry.state
+            if (st is _M or st is _E
+                    or (st is _U and entry.label is label)):
+                # M/E satisfy all requests (Fig. 3): the core holds the full
+                # value, which is a valid sole partial value. U with a
+                # matching label is the commutative hit.
+                res.cycles += (self._l1_latency if cache.touch(line_no)
+                               else self._l12_latency)
                 if is_store:
                     self._write_word(entry, addr, value, requester,
                                      labeled=True)
                 else:
-                    if requester.speculative:
+                    if requester.ts is not None:
                         entry.spec_labeled = True
-                    res.value = entry.words[word_index(addr)]
+                    res.value = entry.words[addr % LINE_BYTES // WORD_BYTES]
                 return res
-            # Different label: non-commutative; reduce then re-enter U with
-            # the new label (GETU case 3 with own stale copy).
-            return self._noncommutative_own_u(core, addr, entry, requester,
-                                              is_store=is_store, value=value,
-                                              into_label=label)
+            if st is _U:
+                # Different label: non-commutative; reduce then re-enter U
+                # with the new label (GETU case 3 with own stale copy).
+                return self._noncommutative_own_u(
+                    core, addr, entry, requester,
+                    is_store=is_store, value=value, into_label=label)
 
         # Miss (I or S): GETU.
         res.cycles += self._private_lookup_cycles(False)

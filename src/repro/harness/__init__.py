@@ -1,11 +1,18 @@
 """Experiment harness: run workloads across configurations, aggregate with
 confidence intervals, and print the paper's tables and figure series.
 
-``python -m repro.harness <experiment>`` regenerates any figure by name.
+``python -m repro.harness <experiment>`` regenerates any figure by name;
+``--jobs N`` fans sweep points over worker processes and the on-disk
+result cache makes re-renders nearly free (see ``repro.harness.parallel``
+and ``repro.harness.cache``).
 """
 
+from .cache import ResultCache, default_cache_dir, fingerprint
 from .confidence import CiResult, confidence_interval, run_until_confident
-from .runner import ExperimentResult, run_built, run_workload, speedup_curve
+from .parallel import (PointSpec, build_path, make_spec, resolve_build,
+                       resolve_jobs, run_point, run_points)
+from .runner import (ExperimentResult, collect_points, run_built,
+                     run_workload, speedup_curve)
 
 __all__ = [
     "CiResult",
@@ -15,4 +22,15 @@ __all__ = [
     "run_built",
     "run_workload",
     "speedup_curve",
+    "collect_points",
+    "PointSpec",
+    "build_path",
+    "make_spec",
+    "resolve_build",
+    "resolve_jobs",
+    "run_point",
+    "run_points",
+    "ResultCache",
+    "default_cache_dir",
+    "fingerprint",
 ]

@@ -5,6 +5,14 @@ Usage::
     python -m repro.harness --list
     python -m repro.harness fig09
     python -m repro.harness fig16-kmeans --threads 1,8,32 --scale 0.5
+    python -m repro.harness fig09 --jobs 4          # parallel sweep
+    python -m repro.harness fig09 --no-cache        # force re-simulation
+
+Sweeps fan out over ``--jobs`` worker processes (default: ``REPRO_JOBS``,
+else the machine's CPU count) and reuse previously simulated points from
+the on-disk cache (``--cache-dir``, default ``~/.cache/repro-commtm``;
+disable with ``--no-cache``). Parallel and cached runs produce output
+identical to ``--jobs 1 --no-cache``.
 """
 
 from __future__ import annotations
@@ -12,7 +20,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..errors import SimulationError
+from .cache import ResultCache
 from .experiments import list_experiments, run_experiment
+from .parallel import resolve_jobs
 
 
 def main(argv=None) -> int:
@@ -28,6 +39,15 @@ def main(argv=None) -> int:
                         help="comma-separated thread ladder")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="operation-count multiplier")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for sweeps "
+                             "(default: $REPRO_JOBS, else CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default: $REPRO_CACHE_DIR, else "
+                             "~/.cache/repro-commtm)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -35,13 +55,22 @@ def main(argv=None) -> int:
         return 0
 
     threads = [int(x) for x in args.threads.split(",") if x]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except SimulationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     try:
         report = run_experiment(args.experiment, threads=threads,
-                                scale=args.scale)
+                                scale=args.scale, jobs=jobs, cache=cache)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
     print(report)
+    if cache is not None:
+        print(f"[cache] {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"in {cache.directory}", file=sys.stderr)
     return 0
 
 

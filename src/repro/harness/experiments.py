@@ -11,9 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from ..sim.stats import WastedCause
 from ..workloads.micro import counter, linked_list, ordered_put, refcount, topk
 from ..workloads.apps import boruvka, genome, kmeans, ssca2, vacation
-from .runner import run_workload, speedup_curve
+from .parallel import make_spec, run_points
+from .runner import speedup_curve
 from .report import render_speedup_chart, render_stacked_bars
 
 
@@ -21,50 +23,60 @@ from .report import render_speedup_chart, render_stacked_bars
 class Experiment:
     name: str
     description: str
-    run: Callable[[List[int], float], str]  # (threads, scale) -> report
+    #: (threads, scale, jobs, cache) -> report
+    run: Callable[..., str]
 
 
 def _speedup_experiment(build, title, systems=None, **params):
-    def run(threads: List[int], scale: float) -> str:
+    def run(threads: List[int], scale: float, jobs=None, cache=None) -> str:
         kwargs = dict(params)
         if "total_ops" in kwargs:
             kwargs["total_ops"] = max(1, int(kwargs["total_ops"] * scale))
         curves = speedup_curve(build, threads, num_cores=128,
-                               systems=systems, **kwargs)
+                               systems=systems, jobs=jobs, cache=cache,
+                               **kwargs)
         return render_speedup_chart(curves, title)
     return run
 
 
 def _app_speedup(build, title, **params):
-    def run(threads: List[int], scale: float) -> str:
-        base = run_workload(build, 1, num_cores=128, commtm=False, **params)
-        curves = {"CommTM": {}, "Baseline": {}}
-        for t in threads:
-            curves["CommTM"][t] = base.cycles / run_workload(
-                build, t, num_cores=128, commtm=True, **params).cycles
-            curves["Baseline"][t] = base.cycles / run_workload(
-                build, t, num_cores=128, commtm=False, **params).cycles
+    # Same protocol as the microbenchmark figures: speedup_curve shares
+    # the 1-thread baseline run between the denominator and the swept
+    # Baseline series instead of simulating it twice.
+    def run(threads: List[int], scale: float, jobs=None, cache=None) -> str:
+        curves = speedup_curve(build, threads, num_cores=128, jobs=jobs,
+                               cache=cache, **params)
         return render_speedup_chart(curves, title)
     return run
 
 
+#: Stacked-bar column sets per breakdown kind. Fixed up front (not derived
+#: from the first simulated row) so an empty thread ladder still renders.
+_BREAKDOWN_COLUMNS = {
+    "cycles": ("non_tx", "tx_committed", "tx_aborted"),
+    "wasted": tuple(cause.value for cause in WastedCause),
+    "gets": ("GETS", "GETX", "GETU"),
+}
+
+
 def _breakdown_experiment(build, title, kind, **params):
-    def run(threads: List[int], scale: float) -> str:
-        rows = {}
+    def run(threads: List[int], scale: float, jobs=None, cache=None) -> str:
+        columns = _BREAKDOWN_COLUMNS[kind]
+        specs, labels = [], []
         for t in threads:
             for commtm in (False, True):
-                label = f"{'CommTM' if commtm else 'Base'}@{t}"
-                result = run_workload(build, t, num_cores=128,
-                                      commtm=commtm, **params)
-                if kind == "cycles":
-                    rows[label] = result.stats.cycle_breakdown_totals()
-                    columns = ("non_tx", "tx_committed", "tx_aborted")
-                elif kind == "wasted":
-                    rows[label] = result.stats.wasted_breakdown()
-                    columns = tuple(rows[label].keys())
-                else:
-                    rows[label] = result.stats.get_breakdown()
-                    columns = ("GETS", "GETX", "GETU")
+                labels.append(f"{'CommTM' if commtm else 'Base'}@{t}")
+                specs.append(make_spec(build, t, num_cores=128,
+                                       commtm=commtm, **params))
+        results = run_points(specs, jobs=jobs, cache=cache)
+        rows = {}
+        for label, result in zip(labels, results):
+            if kind == "cycles":
+                rows[label] = result.stats.cycle_breakdown_totals()
+            elif kind == "wasted":
+                rows[label] = result.stats.wasted_breakdown()
+            else:
+                rows[label] = result.stats.get_breakdown()
         return render_stacked_bars(rows, columns, title)
     return run
 
@@ -128,12 +140,19 @@ for _app in ("boruvka", "kmeans"):
 
 
 def run_experiment(name: str, threads: List[int] = None,
-                   scale: float = 1.0) -> str:
+                   scale: float = 1.0, jobs: int = None,
+                   cache=None) -> str:
+    """Run one registered experiment.
+
+    ``jobs`` (worker processes) and ``cache`` (a
+    :class:`~repro.harness.cache.ResultCache`) are forwarded to the sweep
+    layer; both default to serial, uncached execution.
+    """
     if name not in REGISTRY:
         known = ", ".join(sorted(REGISTRY))
         raise KeyError(f"unknown experiment {name!r}; known: {known}")
-    threads = threads or [1, 8, 32, 128]
-    return REGISTRY[name].run(threads, scale)
+    threads = threads if threads is not None else [1, 8, 32, 128]
+    return REGISTRY[name].run(threads, scale, jobs=jobs, cache=cache)
 
 
 def list_experiments() -> List[str]:

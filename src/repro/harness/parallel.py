@@ -1,0 +1,213 @@
+"""Parallel sweep execution.
+
+Experiments are sweeps: the same workload builder simulated at many
+(thread-count, system-flag) points, each on a fresh machine. The points are
+fully independent, so the harness describes each one as a self-contained,
+picklable :class:`PointSpec` and fans the specs over a ``spawn``-based
+process pool. Results are merged back *in spec order*, so a parallel sweep
+produces byte-identical reports to a serial one — parallelism only changes
+wall-clock time, never output.
+
+Key design points:
+
+* **Builders travel by reference.** A spec stores the workload builder as a
+  ``"module:qualname"`` path, not a function object, so specs pickle
+  cheaply and identically across processes. All registry builders
+  (``repro.workloads.*.build``) are module-level and resolvable this way.
+* **Dedupe before dispatch.** Identical specs (same canonical form) are
+  simulated once and the result is shared between all requesting positions.
+  This is what makes the 1-thread baseline of a speedup curve free when it
+  also appears as a swept point.
+* **Deterministic merge.** ``pool.map`` preserves input order; combined
+  with the canonical dedupe the merge is a pure function of the spec list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..params import SystemConfig
+
+#: Environment variable consulted when ``jobs`` is not given explicitly.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def build_path(build: Callable) -> str:
+    """``"module:qualname"`` path of a module-level workload builder.
+
+    Raises :class:`SimulationError` for lambdas, closures, or anything else
+    that does not round-trip through :func:`resolve_build` — those can still
+    be run, just not through the parallel/cached layer.
+    """
+    module = getattr(build, "__module__", None)
+    qualname = getattr(build, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise SimulationError(
+            f"workload builder {build!r} is not addressable as "
+            f"module:qualname (lambda or closure?)"
+        )
+    path = f"{module}:{qualname}"
+    if resolve_build(path) is not build:
+        raise SimulationError(
+            f"workload builder {build!r} does not resolve back from {path!r}"
+        )
+    return path
+
+
+def resolve_build(path: str) -> Callable:
+    """Inverse of :func:`build_path`."""
+    module, _, qualname = path.partition(":")
+    obj = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One experiment point, self-describing and picklable.
+
+    Mirrors the keyword surface of :func:`repro.harness.runner.run_workload`;
+    ``params`` holds the workload builder's keyword arguments as a sorted
+    tuple of pairs so equal specs compare (and hash) equal.
+    """
+
+    build: str                      # "module:qualname" of the builder
+    num_threads: int
+    num_cores: int = 128
+    commtm: Optional[bool] = None
+    gather: Optional[bool] = None
+    seed: int = 1
+    base_config: Optional[SystemConfig] = None
+    verify: bool = True
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def canonical(self) -> str:
+        """Deterministic textual form: dedupe key and cache-fingerprint
+        input. Two specs with the same canonical form simulate the same
+        point."""
+        if self.base_config is None:
+            config_repr = "None"
+        else:
+            config_repr = repr(dataclasses.asdict(self.base_config))
+        param_repr = ";".join(f"{k}={v!r}" for k, v in self.params)
+        return (
+            f"build={self.build}|threads={self.num_threads}"
+            f"|cores={self.num_cores}|commtm={self.commtm}"
+            f"|gather={self.gather}|seed={self.seed}"
+            f"|verify={self.verify}|config={config_repr}"
+            f"|params={param_repr}"
+        )
+
+
+def make_spec(build: Callable, num_threads: int, *,
+              num_cores: int = 128, commtm: Optional[bool] = None,
+              gather: Optional[bool] = None, seed: int = 1,
+              base_config: Optional[SystemConfig] = None,
+              verify: bool = True, **params) -> PointSpec:
+    """Spec for one :func:`run_workload`-style invocation."""
+    return PointSpec(
+        build=build_path(build),
+        num_threads=num_threads,
+        num_cores=num_cores,
+        commtm=commtm,
+        gather=gather,
+        seed=seed,
+        base_config=base_config,
+        verify=verify,
+        params=tuple(sorted(params.items())),
+    )
+
+
+def run_point(spec: PointSpec):
+    """Simulate one point. Top-level so ``spawn`` workers can import it."""
+    from .runner import run_workload  # deferred: runner imports us
+
+    return run_workload(
+        resolve_build(spec.build), spec.num_threads,
+        num_cores=spec.num_cores, commtm=spec.commtm, gather=spec.gather,
+        seed=spec.seed, base_config=spec.base_config, verify=spec.verify,
+        **dict(spec.params),
+    )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else
+    ``os.cpu_count()``. Always at least 1."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise SimulationError(
+                    f"{JOBS_ENV}={env!r} is not an integer"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def run_points(specs: Sequence[PointSpec], *, jobs: Optional[int] = None,
+               cache=None) -> List:
+    """Simulate every spec; return results aligned with ``specs``.
+
+    Identical specs are simulated once. With ``cache`` (a
+    :class:`~repro.harness.cache.ResultCache`), previously simulated points
+    are loaded from disk and fresh ones are stored. ``jobs > 1`` fans the
+    uncached unique specs over a ``spawn`` pool; the output is identical to
+    ``jobs=1`` by construction.
+    """
+    jobs = resolve_jobs(jobs)
+
+    # Dedupe while preserving first-seen order.
+    unique: Dict[str, PointSpec] = {}
+    positions: List[str] = []
+    for spec in specs:
+        key = spec.canonical()
+        positions.append(key)
+        if key not in unique:
+            unique[key] = spec
+
+    results: Dict[str, object] = {}
+    todo: List[Tuple[str, PointSpec]] = []
+    for key, spec in unique.items():
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[key] = hit
+        else:
+            todo.append((key, spec))
+
+    if todo:
+        todo_specs = [spec for _, spec in todo]
+        if jobs > 1 and len(todo_specs) > 1:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("spawn")
+            with ctx.Pool(processes=min(jobs, len(todo_specs))) as pool:
+                outputs = pool.map(run_point, todo_specs)
+        else:
+            outputs = [run_point(spec) for spec in todo_specs]
+        for (key, spec), result in zip(todo, outputs):
+            results[key] = result
+            if cache is not None:
+                cache.put(spec, result)
+
+    return [results[key] for key in positions]
+
+
+__all__ = [
+    "JOBS_ENV",
+    "PointSpec",
+    "build_path",
+    "resolve_build",
+    "make_spec",
+    "run_point",
+    "resolve_jobs",
+    "run_points",
+]

@@ -5,6 +5,13 @@ of the *baseline* HTM, at thread counts 1-128 on the Table I system.
 :func:`speedup_curve` reproduces that protocol: one baseline single-thread
 run fixes the denominator, then each (system, thread-count) point is a
 fresh machine running the same workload builder.
+
+Sweeps (:func:`speedup_curve`, :func:`collect_points`) accept ``jobs`` and
+``cache`` and route through :mod:`repro.harness.parallel`: points are
+described as picklable specs, deduplicated, optionally loaded from the
+on-disk :class:`~repro.harness.cache.ResultCache`, and fanned over a
+process pool. The merge is deterministic — serial and parallel runs of the
+same sweep produce identical reports.
 """
 
 from __future__ import annotations
@@ -13,8 +20,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.machine import Machine, MachineResult
+from ..errors import SimulationError
 from ..params import SystemConfig
 from ..sim.stats import Stats
+from .parallel import make_spec, run_points
 
 
 @dataclass
@@ -76,35 +85,73 @@ def run_workload(build: Callable, num_threads: int, *,
     return run_built(machine, built, verify=verify)
 
 
+def _run_calls(build: Callable, calls: List[dict], jobs, cache) \
+        -> List[ExperimentResult]:
+    """Run many ``run_workload``-style calls (dicts of its keyword
+    arguments, ``num_threads`` included) through the parallel layer.
+
+    Builders that cannot be addressed as ``module:qualname`` (closures,
+    lambdas) fall back to in-process serial execution — still deduplicating
+    identical calls, so e.g. the reference run is never repeated.
+    """
+    try:
+        specs = [make_spec(build, **call) for call in calls]
+    except SimulationError:
+        memo: Dict[str, ExperimentResult] = {}
+        results = []
+        for call in calls:
+            key = repr(sorted(call.items(), key=lambda kv: kv[0]))
+            if key not in memo:
+                memo[key] = run_workload(build, **call)
+            results.append(memo[key])
+        return results
+    return run_points(specs, jobs=jobs, cache=cache)
+
+
 def speedup_curve(build: Callable, thread_counts: Iterable[int], *,
                   num_cores: int = 128, systems: Dict[str, dict] = None,
                   seed: int = 1, base_config: Optional[SystemConfig] = None,
-                  verify: bool = True,
-                  **params) -> Dict[str, Dict[int, float]]:
+                  verify: bool = True, jobs: Optional[int] = None,
+                  cache=None, **params) -> Dict[str, Dict[int, float]]:
     """Speedup series per system, normalized to 1-thread baseline cycles.
 
     ``systems`` maps a series name to flags for :func:`run_workload`
     (default: the paper's two systems, CommTM and the baseline HTM).
     Returns ``{series: {threads: speedup}}``.
+
+    The reference run and every (series, thread-count) point go through one
+    deduplicated batch: when the baseline series itself contains the
+    1-thread point, it is simulated once and reused as the denominator.
+    ``jobs``/``cache`` control parallelism and on-disk caching.
     """
     if systems is None:
         systems = {
             "CommTM": {"commtm": True},
             "Baseline": {"commtm": False},
         }
-    reference = run_workload(build, 1, num_cores=num_cores, commtm=False,
-                             seed=seed, base_config=base_config,
-                             verify=verify, **params)
-    base_cycles = reference.cycles
+    thread_counts = list(thread_counts)
+    common = dict(num_cores=num_cores, seed=seed, base_config=base_config,
+                  verify=verify)
+
+    calls = [dict(common, num_threads=1, commtm=False, gather=None,
+                  **params)]
+    for flags in systems.values():
+        merged = {**flags, **params}
+        commtm = merged.pop("commtm", None)
+        gather = merged.pop("gather", None)
+        for threads in thread_counts:
+            calls.append(dict(common, num_threads=threads, commtm=commtm,
+                              gather=gather, **merged))
+
+    results = _run_calls(build, calls, jobs, cache)
+    base_cycles = results[0].cycles
 
     curves: Dict[str, Dict[int, float]] = {}
-    for series, flags in systems.items():
+    it = iter(results[1:])
+    for series in systems:
         curves[series] = {}
         for threads in thread_counts:
-            point = run_workload(build, threads, num_cores=num_cores,
-                                 seed=seed, base_config=base_config,
-                                 verify=verify, **{**flags, **params})
-            curves[series][threads] = base_cycles / point.cycles
+            curves[series][threads] = base_cycles / next(it).cycles
     return curves
 
 
@@ -112,12 +159,13 @@ def collect_points(build: Callable, thread_counts: Iterable[int], *,
                    num_cores: int = 128, commtm: Optional[bool] = None,
                    gather: Optional[bool] = None, seed: int = 1,
                    base_config: Optional[SystemConfig] = None,
-                   verify: bool = True,
-                   **params) -> List[ExperimentResult]:
+                   verify: bool = True, jobs: Optional[int] = None,
+                   cache=None, **params) -> List[ExperimentResult]:
     """Full :class:`ExperimentResult` per thread count (for breakdowns)."""
-    return [
-        run_workload(build, threads, num_cores=num_cores, commtm=commtm,
-                     gather=gather, seed=seed, base_config=base_config,
-                     verify=verify, **params)
+    calls = [
+        dict(num_threads=threads, num_cores=num_cores, commtm=commtm,
+             gather=gather, seed=seed, base_config=base_config,
+             verify=verify, **params)
         for threads in thread_counts
     ]
+    return _run_calls(build, calls, jobs, cache)

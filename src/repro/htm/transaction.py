@@ -15,7 +15,7 @@ from typing import Optional, Set
 from ..sim.stats import WastedCause
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     core: int
     ts: int

@@ -29,42 +29,45 @@ from typing import Callable, Tuple
 from ..core.labels import Label
 
 
-@dataclass(frozen=True)
+# The op classes are allocated once per simulated memory operation — the
+# hottest allocation site in the simulator — so they are slotted.
+
+@dataclass(frozen=True, slots=True)
 class Load:
     addr: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Store:
     addr: int
     value: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LabeledLoad:
     addr: int
     label: Label
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LabeledStore:
     addr: int
     label: Label
     value: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadGather:
     addr: int
     label: Label
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Work:
     cycles: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Barrier:
     """SPMD barrier: blocks until every live thread reaches one.
 
@@ -78,6 +81,10 @@ class Atomic:
     """Transaction boundary: run ``fn(ctx, *args)`` atomically."""
 
     __slots__ = ("fn", "args")
+
+    #: Explicit conflict-priority timestamp; ``None`` means allocate one at
+    #: begin. Overridden by OrderedAtomic (order == priority).
+    ts = None
 
     def __init__(self, fn: Callable, *args):
         self.fn = fn

@@ -21,6 +21,8 @@ class CoreClocks:
     excluded from scheduling until released at a wake-up cycle.
     """
 
+    __slots__ = ("num_cores", "cycles", "_heap", "_parked", "_done")
+
     def __init__(self, num_cores: int, jitter=None, max_jitter: int = 8):
         self.num_cores = num_cores
         self.cycles: List[int] = [0] * num_cores

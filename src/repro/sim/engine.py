@@ -9,10 +9,20 @@ Transactions (``Atomic`` ops) are replayed on abort: the transaction's
 generator is discarded, the core stalls for randomized backoff, and a fresh
 generator is created — mirroring hardware restart exactly, because all
 shared-state effects go through speculative stores that rollback undoes.
+
+Dispatch is a type-keyed table (``op.__class__`` -> bound handler) rather
+than an isinstance ladder: every yielded op costs one dict lookup. Subclasses
+(e.g. ``OrderedAtomic``) resolve through the MRO once and are memoized into
+the table. Hot per-core state (the clock array, the active-transaction list,
+the cycle breakdown) is bound to locals on the engine at construction so the
+per-op path does plain list indexing instead of chained attribute loads.
+All of this is pure host-side speed: simulated cycle counts are identical
+to the straightforward implementation.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -34,8 +44,12 @@ from ..runtime.thread_api import ThreadCtx
 from .clock import CoreClocks
 from .trace import EventKind
 
+#: Sentinel distinguishing "generator finished" from any yielded op (a body
+#: yielding ``None`` must still be rejected as an unknown operation).
+_FINISHED = object()
 
-@dataclass
+
+@dataclass(slots=True)
 class Frame:
     """One level of a thread's generator stack."""
 
@@ -44,7 +58,7 @@ class Frame:
     is_tx_root: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadRunner:
     core: int
     ctx: ThreadCtx
@@ -81,83 +95,136 @@ class Engine:
         self._live_threads = len(bodies)
         self._barrier_waiting: List[int] = []
 
+        # Hot-path bindings. ``conflicts.active`` and ``clocks.cycles`` are
+        # mutated in place by their owners, so holding the list references
+        # is safe; ``tracer.record`` is a bound no-op when tracing is off.
+        self._tx_active = self.htm.conflicts.active
+        self._cycles = self.clocks.cycles
+        self._breakdown = self.stats.breakdown
+        self._trace = machine.tracer.record
+        self._commtm = self.config.commtm_enabled
+        self._tx_begin_cycles = self.config.tx_begin_cycles
+        self._tx_commit_cycles = self.config.tx_commit_cycles
+        self._handlers = {
+            Atomic: self._op_atomic,
+            Work: self._op_work,
+            Barrier: self._op_barrier,
+            Load: self._op_load,
+            Store: self._op_store,
+            LabeledLoad: self._op_labeled_load,
+            LabeledStore: self._op_labeled_store,
+            LoadGather: self._op_load_gather,
+        }
+
     # ------------------------------------------------------------------
 
     def run(self) -> None:
-        while True:
-            core = self.clocks.next_core()
-            if core is None:
-                break
-            self._step(core)
-            if not self.runners[core].blocked:
-                self.clocks.reschedule(core)
-        self.stats.parallel_cycles = self.clocks.max_cycle
+        # The scheduler (CoreClocks.next_core / reschedule) and the per-core
+        # step are inlined here: this loop executes once per simulated
+        # operation and the function-call framing was a measurable fraction
+        # of total runtime. The logic is identical to
+        # next_core() -> step -> reschedule(); CoreClocks keeps the
+        # single-step methods for direct use and tests.
+        clocks = self.clocks
+        heap = clocks._heap
+        done = clocks._done
+        cycles = self._cycles
+        runners = self.runners
+        tx_active = self._tx_active
+        handlers = self._handlers
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        finished = _FINISHED
 
-    # ------------------------------------------------------------------
+        while heap:
+            stamp, core = heappop(heap)
+            if done[core]:
+                continue
+            if stamp < cycles[core]:
+                # Stale entry (core was charged since being queued); requeue
+                # at its true time to preserve min-clock order.
+                heappush(heap, (cycles[core], core))
+                continue
 
-    def _step(self, core: int) -> None:
-        runner = self.runners[core]
-        tx = self.htm.active(core)
-        if tx is not None and tx.aborted:
-            self._restart_tx(runner, tx)
-            return
+            runner = runners[core]
+            tx = tx_active[core]
+            if tx is not None and tx.aborted:
+                self._restart_tx(runner, tx)
+            else:
+                value = runner.pending_value
+                runner.pending_value = None
+                try:
+                    op = runner.frames[-1].gen.send(value)
+                except StopIteration as stop:
+                    self._finish_frame(runner, stop.value)
+                    op = finished
+                if op is not finished:
+                    handler = handlers.get(op.__class__)
+                    if handler is None:
+                        handler = self._resolve_handler(op)
+                    handler(runner, op)
 
-        frame = runner.frames[-1]
-        value = runner.pending_value
-        runner.pending_value = None
-        try:
-            op = frame.gen.send(value)
-        except StopIteration as stop:
-            self._finish_frame(runner, stop.value)
-            return
-        self._dispatch(runner, op)
+            if not runner.blocked and not done[core]:
+                heappush(heap, (cycles[core], core))
+
+        if not clocks.all_finished():
+            raise SimulationError("no runnable core but simulation not finished")
+        self.stats.parallel_cycles = clocks.max_cycle
 
     # ------------------------------------------------------------------
 
     def _dispatch(self, runner: ThreadRunner, op) -> None:
+        handler = self._handlers.get(op.__class__)
+        if handler is None:
+            handler = self._resolve_handler(op)
+        handler(runner, op)
+
+    def _resolve_handler(self, op):
+        """Memoize a subclassed op (e.g. OrderedAtomic) into the table."""
+        for base in type(op).__mro__:
+            handler = self._handlers.get(base)
+            if handler is not None:
+                self._handlers[op.__class__] = handler
+                return handler
+        raise SimulationError(f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------
+
+    def _op_atomic(self, runner: ThreadRunner, op) -> None:
         core = runner.core
-        if isinstance(op, Atomic):
-            if self.htm.active(core) is None:
-                ts = getattr(op, "ts", None)  # OrderedAtomic: order == priority
-                tx = self.htm.begin(core, ts=ts)
-                self.machine.tracer.record(self.clocks.now(core), core,
-                                           EventKind.TX_BEGIN)
-                self._charge(core, self.config.tx_begin_cycles)
-                runner.frames.append(
-                    Frame(gen=op.make_generator(runner.ctx), atomic=op,
-                          is_tx_root=True)
-                )
-            else:
-                # Closed nesting by subsumption.
-                runner.frames.append(
-                    Frame(gen=op.make_generator(runner.ctx), atomic=op)
-                )
-            return
+        if self._tx_active[core] is None:
+            self.htm.begin(core, ts=op.ts)  # OrderedAtomic: order == priority
+            self._trace(self._cycles[core], core, EventKind.TX_BEGIN)
+            self._charge(core, self._tx_begin_cycles)
+            runner.frames.append(
+                Frame(gen=op.make_generator(runner.ctx), atomic=op,
+                      is_tx_root=True)
+            )
+        else:
+            # Closed nesting by subsumption.
+            runner.frames.append(
+                Frame(gen=op.make_generator(runner.ctx), atomic=op)
+            )
 
-        if isinstance(op, Work):
-            if op.cycles < 0:
-                raise SimulationError(f"negative Work: {op.cycles}")
-            self.stats.instructions += op.cycles
-            self._charge(core, op.cycles)
-            return
+    def _op_work(self, runner: ThreadRunner, op) -> None:
+        if op.cycles < 0:
+            raise SimulationError(f"negative Work: {op.cycles}")
+        self.stats.instructions += op.cycles
+        self._charge(runner.core, op.cycles)
 
-        if isinstance(op, Barrier):
-            self._barrier_arrive(runner)
-            return
-
-        self._memory_op(runner, op)
+    def _op_barrier(self, runner: ThreadRunner, op) -> None:
+        self._barrier_arrive(runner)
 
     # ------------------------------------------------------------------
 
     def _barrier_arrive(self, runner: ThreadRunner) -> None:
         core = runner.core
-        if self.htm.active(core) is not None:
+        if self._tx_active[core] is not None:
             raise TransactionError(
                 f"Barrier inside a transaction on core {core}"
             )
         runner.blocked = True
-        self.machine.tracer.record(self.clocks.now(core), core,
-                                   EventKind.BARRIER)
+        self._trace(self._cycles[core], core, EventKind.BARRIER)
         self._barrier_waiting.append(core)
         self._maybe_release_barrier(skip_reschedule=core)
 
@@ -166,10 +233,10 @@ class Engine:
             return
         if len(self._barrier_waiting) < self._live_threads:
             return
-        release_at = max(self.clocks.now(c) for c in self._barrier_waiting)
+        release_at = max(self._cycles[c] for c in self._barrier_waiting)
         waiting, self._barrier_waiting = self._barrier_waiting, []
         for core in waiting:
-            stall = release_at - self.clocks.now(core)
+            stall = release_at - self._cycles[core]
             if stall > 0:
                 # Barrier wait is non-transactional stall time.
                 self.stats.charge(core, stall, in_tx=False)
@@ -179,54 +246,82 @@ class Engine:
             if core != skip_reschedule:
                 self.clocks.reschedule(core)
 
-    def _memory_op(self, runner: ThreadRunner, op) -> None:
+    # ------------------------------------------------------------------
+    # Memory operations. One handler per op type (type-keyed dispatch);
+    # all share the _after_memory_op postlude. The baseline HTM
+    # (commtm_enabled=False) and restarted transactions with labels
+    # disabled execute labeled operations conventionally.
+
+    def _op_load(self, runner: ThreadRunner, op) -> None:
         core = runner.core
-        tx = self.htm.active(core)
-        requester = Requester(core, tx.ts if tx is not None else None,
-                              now=self.clocks.now(core))
-
-        # The baseline HTM (commtm_enabled=False) and restarted transactions
-        # with labels disabled execute labeled operations conventionally.
-        plain = (not self.config.commtm_enabled
-                 or (tx is not None and tx.labels_disabled))
+        tx = self._tx_active[core]
         self.stats.instructions += 1
+        res = self.msys.load(
+            core, op.addr,
+            Requester(core, tx.ts if tx is not None else None,
+                      now=self._cycles[core]))
+        self._after_memory_op(runner, core, res)
 
-        if isinstance(op, Load):
+    def _op_store(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        self.stats.instructions += 1
+        requester = Requester(core, tx.ts if tx is not None else None,
+                              now=self._cycles[core])
+        res = self._conventional_store(core, op.addr, op.value, requester, tx)
+        self._after_memory_op(runner, core, res)
+
+    def _op_labeled_load(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        stats = self.stats
+        stats.instructions += 1
+        requester = Requester(core, tx.ts if tx is not None else None,
+                              now=self._cycles[core])
+        if not self._commtm or (tx is not None and tx.labels_disabled):
             res = self.msys.load(core, op.addr, requester)
-        elif isinstance(op, Store):
+        else:
+            stats.labeled_instructions += 1
+            stats.labeled_by_label[op.label.name] += 1
+            res = self.msys.labeled_load(core, op.addr, op.label, requester)
+        self._after_memory_op(runner, core, res)
+
+    def _op_labeled_store(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        stats = self.stats
+        stats.instructions += 1
+        requester = Requester(core, tx.ts if tx is not None else None,
+                              now=self._cycles[core])
+        if not self._commtm or (tx is not None and tx.labels_disabled):
             res = self._conventional_store(core, op.addr, op.value,
                                            requester, tx)
-        elif isinstance(op, LabeledLoad):
-            if plain:
-                res = self.msys.load(core, op.addr, requester)
-            else:
-                self.stats.labeled_instructions += 1
-                self.stats.labeled_by_label[op.label.name] += 1
-                res = self.msys.labeled_load(core, op.addr, op.label,
-                                             requester)
-        elif isinstance(op, LabeledStore):
-            if plain:
-                res = self._conventional_store(core, op.addr, op.value,
-                                               requester, tx)
-            else:
-                self.stats.labeled_instructions += 1
-                self.stats.labeled_by_label[op.label.name] += 1
-                res = self.msys.labeled_store(core, op.addr, op.label,
-                                              op.value, requester)
-        elif isinstance(op, LoadGather):
-            if plain:
-                res = self.msys.load(core, op.addr, requester)
-            else:
-                self.stats.labeled_instructions += 1
-                self.stats.labeled_by_label[op.label.name] += 1
-                res = self.msys.load_gather(core, op.addr, op.label,
-                                            requester)
         else:
-            raise SimulationError(f"unknown operation {op!r}")
+            stats.labeled_instructions += 1
+            stats.labeled_by_label[op.label.name] += 1
+            res = self.msys.labeled_store(core, op.addr, op.label,
+                                          op.value, requester)
+        self._after_memory_op(runner, core, res)
 
+    def _op_load_gather(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        stats = self.stats
+        stats.instructions += 1
+        requester = Requester(core, tx.ts if tx is not None else None,
+                              now=self._cycles[core])
+        if not self._commtm or (tx is not None and tx.labels_disabled):
+            res = self.msys.load(core, op.addr, requester)
+        else:
+            stats.labeled_instructions += 1
+            stats.labeled_by_label[op.label.name] += 1
+            res = self.msys.load_gather(core, op.addr, op.label, requester)
+        self._after_memory_op(runner, core, res)
+
+    def _after_memory_op(self, runner: ThreadRunner, core: int, res) -> None:
         self._charge(core, res.cycles)
 
-        tx = self.htm.active(core)
+        tx = self._tx_active[core]
         if res.abort_requester:
             if tx is None:
                 raise SimulationError(
@@ -257,7 +352,7 @@ class Engine:
         core = runner.core
         frame = runner.frames.pop()
         if frame.is_tx_root:
-            tx = self.htm.active(core)
+            tx = self._tx_active[core]
             if tx is None:
                 raise TransactionError(
                     f"transaction frame on core {core} without a tx"
@@ -270,7 +365,7 @@ class Engine:
             if tx.lazy_written:
                 # Lazy conflict detection: publish the write set, aborting
                 # conflicting transactions (commits always win).
-                requester = Requester(core, tx.ts, now=self.clocks.now(core))
+                requester = Requester(core, tx.ts, now=self._cycles[core])
                 for line_no in sorted(tx.lazy_written):
                     pres = self.msys.publish_line(core, line_no, requester)
                     self._charge(core, pres.cycles)
@@ -282,11 +377,9 @@ class Engine:
             # extend the conflict window (mirrors hardware, where the
             # post-commit pipeline drain is not speculative).
             self.htm.commit(core)
-            self.machine.tracer.record(self.clocks.now(core), core,
-                                       EventKind.TX_COMMIT)
-            self.stats.charge(core, self.config.tx_commit_cycles,
-                              in_tx=True)
-            self.clocks.advance(core, self.config.tx_commit_cycles)
+            self._trace(self._cycles[core], core, EventKind.TX_COMMIT)
+            self.stats.charge(core, self._tx_commit_cycles, in_tx=True)
+            self.clocks.advance(core, self._tx_commit_cycles)
         if not runner.frames:
             self.clocks.finish(core)
             self._live_threads -= 1
@@ -306,9 +399,8 @@ class Engine:
             )
         tx_frame = runner.frames.pop()
         atomic = tx_frame.atomic
-        self.machine.tracer.record(self.clocks.now(core), core,
-                                   EventKind.TX_ABORT,
-                                   detail=str(tx.abort_cause))
+        self._trace(self._cycles[core], core, EventKind.TX_ABORT,
+                    detail=str(tx.abort_cause))
 
         if tx.attempts >= self.config.max_restarts:
             raise SimulationError(
@@ -320,11 +412,11 @@ class Engine:
                                self.config.backoff_base,
                                self.config.backoff_max)
         # Backoff stall is abort-induced: account it as wasted.
-        self.stats.breakdown[core].tx_aborted += stall
+        self._breakdown[core].tx_aborted += stall
         self.stats.wasted_by_cause[tx.abort_cause] += stall
         self.clocks.advance(core, stall)
 
-        new_tx = self.htm.begin_retry(core, tx)
+        self.htm.begin_retry(core, tx)
         self._charge(core, self.config.tx_begin_cycles)
         runner.frames.append(
             Frame(gen=atomic.make_generator(runner.ctx), atomic=atomic,
@@ -335,14 +427,17 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _charge(self, core: int, cycles: int) -> None:
-        tx = self.htm.active(core)
+        if cycles < 0:
+            raise SimulationError(f"negative cycle charge: {cycles}")
+        tx = self._tx_active[core]
+        entry = self._breakdown[core]
         if tx is None:
-            self.stats.charge(core, cycles, in_tx=False)
+            entry.non_tx += cycles
         elif tx.aborted:
             # The op that doomed the tx: its cycles are wasted directly.
-            self.stats.breakdown[core].tx_aborted += cycles
+            entry.tx_aborted += cycles
             self.stats.wasted_by_cause[tx.abort_cause] += cycles
         else:
-            self.stats.charge(core, cycles, in_tx=True)
+            entry.tx_committed += cycles
             tx.cycles_this_attempt += cycles
-        self.clocks.advance(core, cycles)
+        self._cycles[core] += cycles

@@ -23,7 +23,7 @@ class EventKind(enum.Enum):
     BARRIER = "|"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     cycle: int
     core: int
@@ -32,18 +32,29 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent`s when enabled (zero cost otherwise)."""
+    """Collects :class:`TraceEvent`s when enabled (zero cost otherwise).
+
+    When disabled, ``record`` is rebound to a no-op at construction so the
+    engine's hot loop pays one short-circuited call instead of attribute
+    tests per event.
+    """
 
     def __init__(self, enabled: bool = False, limit: int = 100_000):
         self.enabled = enabled
         self.limit = limit
         self.events: List[TraceEvent] = []
+        if not enabled:
+            self.record = self._record_disabled
 
     def record(self, cycle: int, core: int, kind: EventKind,
                detail: str = "") -> None:
         if not self.enabled or len(self.events) >= self.limit:
             return
         self.events.append(TraceEvent(cycle, core, kind, detail))
+
+    def _record_disabled(self, cycle: int, core: int, kind: EventKind,
+                         detail: str = "") -> None:
+        return None
 
     def for_core(self, core: int) -> List[TraceEvent]:
         return [e for e in self.events if e.core == core]
