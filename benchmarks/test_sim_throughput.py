@@ -11,6 +11,19 @@ the report records ``cpu_count``: on a single-CPU machine ``--jobs`` adds
 process overhead instead of speedup, and only the cache shows the sweep
 win. Simulated *results* are identical in every mode — only wall-clock
 changes.
+
+Two sweeps are timed: the historical 8-point sweep, which now falls under
+the serial threshold (run_points quietly runs it serially — the regression
+this JSON once recorded is gone by construction), and a 16-point sweep
+that engages the persistent worker pool at ``jobs=4``. Single runs also
+record ``fastpath_hit_rate`` (the fraction of memory accesses served by
+the coherence protocol's private-hit fast path) and ``fastpath_speedup``
+(wall-clock ratio against a ``REPRO_NO_FASTPATH=1`` run in the same
+process).
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI's bench-smoke job) for a reduced config
+that exercises every code path in seconds without pretending to be a
+stable measurement.
 """
 
 from __future__ import annotations
@@ -22,22 +35,42 @@ from pathlib import Path
 
 from repro.harness import ResultCache, make_spec, run_points
 from repro.harness.runner import run_workload
+from repro.sim.engine import NO_FASTPATH_ENV
 from repro.workloads.apps import kmeans
 from repro.workloads.micro import counter
 
 OUT_PATH = Path(__file__).parent.parent / "BENCH_sim_throughput.json"
 
-SINGLE_RUNS = {
-    "counter_commtm": (counter.build,
-                       dict(num_cores=16, commtm=True, total_ops=4000), 5),
-    "counter_baseline": (counter.build,
-                         dict(num_cores=16, commtm=False, total_ops=1000), 5),
-    "kmeans_commtm": (kmeans.build,
-                      dict(num_cores=16, commtm=True, num_points=256,
-                           clusters=8, iterations=2), 4),
-}
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
 
-SWEEP_THREADS = (1, 2, 4, 8)
+#: name -> (builder, run_workload kwargs, best-of reps)
+if SMOKE:
+    SINGLE_RUNS = {
+        "counter_commtm": (counter.build,
+                           dict(num_cores=16, commtm=True, total_ops=400), 2),
+        "counter_baseline": (counter.build,
+                             dict(num_cores=16, commtm=False,
+                                  total_ops=200), 2),
+        "kmeans_commtm": (kmeans.build,
+                          dict(num_cores=16, commtm=True, num_points=64,
+                               clusters=4, iterations=1), 2),
+    }
+    SWEEP_OPS, SWEEP_REPS = 200, 1
+else:
+    SINGLE_RUNS = {
+        "counter_commtm": (counter.build,
+                           dict(num_cores=16, commtm=True, total_ops=4000), 5),
+        "counter_baseline": (counter.build,
+                             dict(num_cores=16, commtm=False,
+                                  total_ops=1000), 5),
+        "kmeans_commtm": (kmeans.build,
+                          dict(num_cores=16, commtm=True, num_points=256,
+                               clusters=8, iterations=2), 4),
+    }
+    SWEEP_OPS, SWEEP_REPS = 1500, 2
+
+SWEEP_THREADS = (1, 2, 4, 8)              # 8 points: below serial threshold
+SWEEP16_THREADS = (1, 2, 3, 4, 5, 6, 7, 8)  # 16 points: pool engages
 
 
 def _best_of(reps, fn):
@@ -49,21 +82,25 @@ def _best_of(reps, fn):
     return best, result
 
 
-def _sweep_specs():
+def _sweep_specs(threads, total_ops):
     return [
         make_spec(counter.build, t, num_cores=16, commtm=commtm,
-                  total_ops=1500)
-        for t in SWEEP_THREADS for commtm in (False, True)
+                  total_ops=total_ops)
+        for t in threads for commtm in (False, True)
     ]
 
 
-def test_sim_throughput(tmp_path):
+def test_sim_throughput(tmp_path, monkeypatch):
     report = {
         "cpu_count": os.cpu_count(),
+        "smoke": SMOKE,
         "single_run_ops_per_sec": {},
+        "fastpath": {},
         "sweep_seconds": {},
+        "sweep16_seconds": {},
     }
 
+    monkeypatch.delenv(NO_FASTPATH_ENV, raising=False)
     for name, (build, params, reps) in SINGLE_RUNS.items():
         wall, result = _best_of(
             reps, lambda b=build, p=params: run_workload(b, 8, **p))
@@ -71,10 +108,24 @@ def test_sim_throughput(tmp_path):
         assert ops_per_sec > 0
         report["single_run_ops_per_sec"][name] = round(ops_per_sec)
 
-    specs = _sweep_specs()
+        # Same point through the full protocol path, same process: the
+        # wall-clock ratio is the fast path's real win, and the simulated
+        # stats must not change at all.
+        monkeypatch.setenv(NO_FASTPATH_ENV, "1")
+        slow_wall, slow_result = _best_of(
+            reps, lambda b=build, p=params: run_workload(b, 8, **p))
+        monkeypatch.delenv(NO_FASTPATH_ENV)
+        assert slow_result.stats.comparable() == result.stats.comparable()
+        report["fastpath"][name] = {
+            "hit_rate": round(result.stats.fastpath_hit_rate, 4),
+            "speedup": round(slow_wall / wall, 3),
+        }
+
+    specs = _sweep_specs(SWEEP_THREADS, SWEEP_OPS)
     serial_wall, serial_results = _best_of(
-        2, lambda: run_points(specs, jobs=1))
-    par_wall, par_results = _best_of(2, lambda: run_points(specs, jobs=4))
+        SWEEP_REPS, lambda: run_points(specs, jobs=1))
+    par_wall, par_results = _best_of(
+        SWEEP_REPS, lambda: run_points(specs, jobs=4))
     assert [r.cycles for r in serial_results] \
         == [r.cycles for r in par_results]
 
@@ -91,6 +142,25 @@ def test_sim_throughput(tmp_path):
         "serial": round(serial_wall, 4),
         "jobs4": round(par_wall, 4),
         "cached": round(cached_wall, 4),
+    }
+
+    # 16 distinct points: above the serial threshold, so jobs=4 goes
+    # through the persistent pool. The pool is warmed by one throwaway
+    # sweep first — its one-time startup is a per-process cost, not a
+    # per-sweep cost, and this benchmark measures the steady state.
+    specs16 = _sweep_specs(SWEEP16_THREADS, SWEEP_OPS)
+    serial16_wall, serial16_results = _best_of(
+        SWEEP_REPS, lambda: run_points(specs16, jobs=1))
+    run_points(_sweep_specs(SWEEP16_THREADS, SWEEP_OPS + 1), jobs=4)
+    par16_wall, par16_results = _best_of(
+        SWEEP_REPS, lambda: run_points(specs16, jobs=4))
+    assert [r.cycles for r in serial16_results] \
+        == [r.cycles for r in par16_results]
+
+    report["sweep16_seconds"] = {
+        "points": len(specs16),
+        "serial": round(serial16_wall, 4),
+        "jobs4": round(par16_wall, 4),
     }
 
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")

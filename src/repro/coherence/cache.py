@@ -28,7 +28,7 @@ class PrivateCache:
     """One core's private cache hierarchy."""
 
     __slots__ = ("core", "l1_geom", "l2_geom", "_lines", "_l1",
-                 "_l1_capacity", "_l2_capacity",
+                 "_l1_capacity", "_l2_capacity", "peek_line",
                  "eviction_hook", "spec_eviction_hook")
 
     def __init__(self, core: int, l1_geom: CacheGeometry,
@@ -42,6 +42,10 @@ class PrivateCache:
         self._l2_capacity = l2_geom.num_lines
         self._lines: "OrderedDict[int, CacheLine]" = OrderedDict()
         self._l1: "OrderedDict[int, None]" = OrderedDict()
+        #: Bound raw accessor for the protocol's private-hit fast path:
+        #: returns the entry or None *without* filtering state I (the fast
+        #: path's own state checks exclude I) and without touching LRU.
+        self.peek_line = self._lines.get
         #: Set by the memory system: called with the victim CacheLine when
         #: capacity forces an eviction.
         self.eviction_hook: Optional[Callable[[CacheLine], None]] = None
@@ -63,15 +67,19 @@ class PrivateCache:
         """Record an access for LRU purposes. Returns True if the access
         hits in the L1 (latency modelling)."""
         lines = self._lines
-        l1 = self._l1
         if line in lines:
             lines.move_to_end(line)
-        l1_hit = line in l1
+        l1 = self._l1
+        if line in l1:
+            l1.move_to_end(line)
+            return True
+        # New keys are appended in MRU position; capacity can only be
+        # exceeded on insertion, so the common hit path above skips the
+        # capacity check entirely.
         l1[line] = None
-        l1.move_to_end(line)
         if 0 < self._l1_capacity < len(l1):
             self._enforce_l1_capacity()
-        return l1_hit
+        return False
 
     def _enforce_l1_capacity(self) -> None:
         capacity = self._l1_capacity

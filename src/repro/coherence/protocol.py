@@ -323,6 +323,121 @@ class MemorySystem:
         return WastedCause.WRITE_AFTER_READ
 
     # ------------------------------------------------------------------
+    # Private-hit fast path
+    #
+    # The overwhelming majority of simulated accesses are private-cache
+    # hits in a stable state: a load on a readable (M/E/S) line, a store
+    # on an exclusive (M/E) line, a labeled access on M/E or on U with a
+    # matching label. Those accesses never transact with the directory,
+    # never scan sharers, never stall on line occupancy, and can never
+    # abort the requester through the protocol — so the full
+    # AccessResult/Requester machinery is pure overhead for them. The
+    # ``fast_*`` handlers below service exactly those accesses with plain
+    # tuples and the precomputed L1/L1+L2 latencies, and return ``None``
+    # for anything else (miss, U mismatch, misaligned address), in which
+    # case the caller retries through the full path. They are
+    # bit-identical to the slow path by construction: every state
+    # mutation (LRU touch, speculative bits, write versioning, silent
+    # E->M upgrade) is the same code the slow path would run, in the same
+    # order. ``REPRO_NO_FASTPATH=1`` makes the engine skip them entirely
+    # (differential testing).
+    # ------------------------------------------------------------------
+
+    def fast_load(self, core: int, addr: int, speculative: bool):
+        """Stable private read hit: ``(value, cycles)``, else ``None``."""
+        if addr % WORD_BYTES:
+            return None  # slow path raises the alignment error
+        cache = self.caches[core]
+        entry = cache.peek_line(addr // LINE_BYTES)
+        if entry is None:
+            return None
+        st = entry.state
+        if st is not _M and st is not _E and st is not _S:
+            return None
+        cycles = (self._l1_latency if cache.touch(entry.line)
+                  else self._l12_latency)
+        if speculative:
+            entry.spec_read = True
+        self.stats.host_fastpath_hits += 1
+        return entry.words[addr % LINE_BYTES // WORD_BYTES], cycles
+
+    def fast_store(self, core: int, addr: int, value: object,
+                   speculative: bool):
+        """Stable private write hit (M, or E with the silent upgrade):
+        latency in cycles, else ``None``."""
+        if addr % WORD_BYTES:
+            return None
+        cache = self.caches[core]
+        entry = cache.peek_line(addr // LINE_BYTES)
+        if entry is None:
+            return None
+        st = entry.state
+        if st is not _M and st is not _E:
+            return None
+        cycles = (self._l1_latency if cache.touch(entry.line)
+                  else self._l12_latency)
+        if speculative:
+            if entry.clean_words is None:
+                entry.clean_words = list(entry.words)
+            entry.spec_written = True
+        entry.words = words = list(entry.words)
+        words[addr % LINE_BYTES // WORD_BYTES] = value
+        entry.dirty = True
+        if st is _E:
+            entry.state = _M
+        self.stats.host_fastpath_hits += 1
+        return cycles
+
+    def fast_labeled_load(self, core: int, addr: int, label: Label,
+                          speculative: bool):
+        """Labeled read hit on M/E or on U with a matching label:
+        ``(value, cycles)``, else ``None``."""
+        if addr % WORD_BYTES:
+            return None
+        cache = self.caches[core]
+        entry = cache.peek_line(addr // LINE_BYTES)
+        if entry is None:
+            return None
+        st = entry.state
+        if not (st is _M or st is _E
+                or (st is _U and entry.label is label)):
+            return None
+        cycles = (self._l1_latency if cache.touch(entry.line)
+                  else self._l12_latency)
+        if speculative:
+            entry.spec_labeled = True
+        self.stats.host_fastpath_hits += 1
+        return entry.words[addr % LINE_BYTES // WORD_BYTES], cycles
+
+    def fast_labeled_store(self, core: int, addr: int, label: Label,
+                           value: object, speculative: bool):
+        """Labeled write hit (the commutative hit on U): latency in
+        cycles, else ``None``."""
+        if addr % WORD_BYTES:
+            return None
+        cache = self.caches[core]
+        entry = cache.peek_line(addr // LINE_BYTES)
+        if entry is None:
+            return None
+        st = entry.state
+        if not (st is _M or st is _E
+                or (st is _U and entry.label is label)):
+            return None
+        cycles = (self._l1_latency if cache.touch(entry.line)
+                  else self._l12_latency)
+        if speculative:
+            if entry.clean_words is None:
+                entry.clean_words = list(entry.words)
+            entry.spec_labeled = True
+        entry.words = words = list(entry.words)
+        words[addr % LINE_BYTES // WORD_BYTES] = value
+        entry.dirty = True
+        if st is _E:
+            entry.state = _M
+        self.stats.host_fastpath_hits += 1
+        return cycles
+
+    # ------------------------------------------------------------------
     # Public operations
     # ------------------------------------------------------------------
 

@@ -27,23 +27,32 @@ class State(enum.Enum):
     @property
     def can_read(self) -> bool:
         """Can this state satisfy a conventional load locally?"""
-        return self in (State.M, State.E, State.S)
+        return self.readable
 
     @property
     def can_write(self) -> bool:
         """Can this state satisfy a conventional store locally?
         (E upgrades silently, so it counts.)"""
-        return self in (State.M, State.E)
+        return self.writable
 
     @property
     def is_exclusive(self) -> bool:
-        return self in (State.M, State.E)
+        return self.writable
 
     def can_satisfy_labeled(self, line_label: object, req_label: object) -> bool:
         """Can a line in this state satisfy a labeled access with
         ``req_label``? M/E satisfy everything; U only matching labels."""
-        if self in (State.M, State.E):
+        if self.writable:
             return True
         if self is State.U:
             return line_label == req_label
         return False
+
+
+# Per-member membership flags, precomputed once: the protocol's per-access
+# handlers (and its private-hit fast path) read these as plain attribute
+# loads instead of constructing membership tuples per call.
+for _st in State:
+    _st.readable = _st in (State.M, State.E, State.S)
+    _st.writable = _st in (State.M, State.E)
+del _st

@@ -3,8 +3,8 @@
 Experiments are sweeps: the same workload builder simulated at many
 (thread-count, system-flag) points, each on a fresh machine. The points are
 fully independent, so the harness describes each one as a self-contained,
-picklable :class:`PointSpec` and fans the specs over a ``spawn``-based
-process pool. Results are merged back *in spec order*, so a parallel sweep
+picklable :class:`PointSpec` and fans the specs over a persistent process
+pool. Results are merged back *in spec order*, so a parallel sweep
 produces byte-identical reports to a serial one — parallelism only changes
 wall-clock time, never output.
 
@@ -20,12 +20,22 @@ Key design points:
   also appears as a swept point.
 * **Deterministic merge.** ``pool.map`` preserves input order; combined
   with the canonical dedupe the merge is a pure function of the spec list.
+* **The pool is persistent and pays for itself.** Workers are created once
+  per host process (``forkserver`` with the simulator preloaded, falling
+  back to ``fork``, then ``spawn``) and reused across sweeps, so repeated
+  sweeps never pay interpreter + import startup per task. Specs are
+  submitted in chunks, and sweeps smaller than a configurable threshold
+  (:data:`DEFAULT_SERIAL_THRESHOLD`, override with
+  ``REPRO_SERIAL_THRESHOLD`` or the ``serial_threshold`` argument) run
+  serially instead — small sweeps never regress behind pool dispatch.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import importlib
+import logging
 import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -33,8 +43,25 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import SimulationError
 from ..params import SystemConfig
 
+log = logging.getLogger("repro.harness")
+
 #: Environment variable consulted when ``jobs`` is not given explicitly.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable overriding the serial-fallback threshold.
+SERIAL_THRESHOLD_ENV = "REPRO_SERIAL_THRESHOLD"
+
+#: Sweeps with fewer uncached unique points than this run serially even
+#: when ``jobs > 1``: dispatching a handful of points through the pool
+#: costs more than it saves (BENCH_sim_throughput.json once recorded an
+#: 8-point sweep at 0.37s serial vs 0.93s under a cold 4-worker pool).
+DEFAULT_SERIAL_THRESHOLD = 10
+
+#: Modules the forkserver imports *once* before any worker forks from it;
+#: workers then inherit the fully-imported simulator for free. The list is
+#: deliberately the harness entry point (which pulls in the whole
+#: ``repro`` package transitively) rather than an exhaustive enumeration.
+POOL_PRELOAD_MODULES = ["repro.harness.runner"]
 
 
 def build_path(build: Callable) -> str:
@@ -125,7 +152,7 @@ def make_spec(build: Callable, num_threads: int, *,
 
 
 def run_point(spec: PointSpec):
-    """Simulate one point. Top-level so ``spawn`` workers can import it."""
+    """Simulate one point. Top-level so pool workers can import it."""
     from .runner import run_workload  # deferred: runner imports us
 
     return run_workload(
@@ -153,15 +180,109 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
+def resolve_serial_threshold(threshold: Optional[int] = None) -> int:
+    """Serial-fallback point count: explicit argument, else
+    ``REPRO_SERIAL_THRESHOLD``, else :data:`DEFAULT_SERIAL_THRESHOLD`.
+    ``0`` disables the fallback entirely."""
+    if threshold is None:
+        env = os.environ.get(SERIAL_THRESHOLD_ENV, "").strip()
+        if env:
+            try:
+                threshold = int(env)
+            except ValueError:
+                raise SimulationError(
+                    f"{SERIAL_THRESHOLD_ENV}={env!r} is not an integer"
+                ) from None
+        else:
+            threshold = DEFAULT_SERIAL_THRESHOLD
+    return max(0, int(threshold))
+
+
+# --- persistent worker pool -------------------------------------------------
+#
+# One pool per host process, created on first parallel sweep and reused for
+# every later one (rebuilt only if a different ``jobs`` is requested).
+# ``forkserver`` + preload means worker startup is a bare fork of an
+# already-imported interpreter; cold spawn startup is paid at most once.
+
+_pool = None
+_pool_jobs = 0
+
+
+def _main_reimport_safe() -> bool:
+    """Can ``forkserver``/``spawn`` workers re-import ``__main__``?
+
+    Both start methods replay the parent's ``__main__`` in the worker
+    (``multiprocessing.spawn.prepare``). That replay crashes — and the
+    pool hangs — when the parent was fed from stdin or another
+    non-importable pseudo-file, so those parents must use ``fork``.
+    """
+    import sys
+
+    main = sys.modules.get("__main__")
+    if main is None or getattr(main, "__spec__", None) is not None:
+        return True  # ``python -m ...``: re-imported by module name
+    path = getattr(main, "__file__", None)
+    if path is None:
+        return True  # interactive: no main replay is attempted
+    return os.path.exists(path)
+
+
+def _pool_context():
+    """Best multiprocessing context available on this platform."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    reimport_ok = _main_reimport_safe()
+    if "forkserver" in methods and reimport_ok:
+        ctx = multiprocessing.get_context("forkserver")
+        ctx.set_forkserver_preload(list(POOL_PRELOAD_MODULES))
+        return ctx
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    if not reimport_ok:
+        raise SimulationError(
+            "parallel sweeps need an importable __main__ module on "
+            "platforms without fork; run with jobs=1"
+        )
+    return multiprocessing.get_context("spawn")
+
+
+def get_pool(jobs: int):
+    """The persistent worker pool, (re)built for ``jobs`` workers."""
+    global _pool, _pool_jobs
+    if _pool is not None and _pool_jobs != jobs:
+        shutdown_pool()
+    if _pool is None:
+        _pool = _pool_context().Pool(processes=jobs)
+        _pool_jobs = jobs
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (no-op when none exists)."""
+    global _pool, _pool_jobs
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_jobs = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def run_points(specs: Sequence[PointSpec], *, jobs: Optional[int] = None,
-               cache=None) -> List:
+               cache=None, serial_threshold: Optional[int] = None) -> List:
     """Simulate every spec; return results aligned with ``specs``.
 
     Identical specs are simulated once. With ``cache`` (a
     :class:`~repro.harness.cache.ResultCache`), previously simulated points
     are loaded from disk and fresh ones are stored. ``jobs > 1`` fans the
-    uncached unique specs over a ``spawn`` pool; the output is identical to
-    ``jobs=1`` by construction.
+    uncached unique specs over the persistent worker pool in chunks —
+    unless fewer than ``serial_threshold`` points remain, in which case
+    they run serially (see :func:`resolve_serial_threshold`). The output
+    is identical to ``jobs=1`` by construction.
     """
     jobs = resolve_jobs(jobs)
 
@@ -185,13 +306,21 @@ def run_points(specs: Sequence[PointSpec], *, jobs: Optional[int] = None,
 
     if todo:
         todo_specs = [spec for _, spec in todo]
-        if jobs > 1 and len(todo_specs) > 1:
-            import multiprocessing
-
-            ctx = multiprocessing.get_context("spawn")
-            with ctx.Pool(processes=min(jobs, len(todo_specs))) as pool:
-                outputs = pool.map(run_point, todo_specs)
+        n = len(todo_specs)
+        threshold = resolve_serial_threshold(serial_threshold)
+        if jobs > 1 and n > 1 and n >= threshold:
+            pool = get_pool(jobs)
+            chunksize = max(1, n // (4 * jobs))
+            outputs = pool.map(run_point, todo_specs, chunksize)
         else:
+            if jobs > 1 and n > 1:
+                log.info(
+                    "sweep has %d uncached point(s), below the serial "
+                    "threshold of %d: running serially (pool dispatch "
+                    "would cost more than it saves; set "
+                    "%s=0 or serial_threshold=0 to force the pool)",
+                    n, threshold, SERIAL_THRESHOLD_ENV,
+                )
             outputs = [run_point(spec) for spec in todo_specs]
         for (key, spec), result in zip(todo, outputs):
             results[key] = result
@@ -203,11 +332,17 @@ def run_points(specs: Sequence[PointSpec], *, jobs: Optional[int] = None,
 
 __all__ = [
     "JOBS_ENV",
+    "SERIAL_THRESHOLD_ENV",
+    "DEFAULT_SERIAL_THRESHOLD",
+    "POOL_PRELOAD_MODULES",
     "PointSpec",
     "build_path",
     "resolve_build",
     "make_spec",
     "run_point",
     "resolve_jobs",
+    "resolve_serial_threshold",
+    "get_pool",
+    "shutdown_pool",
     "run_points",
 ]

@@ -85,7 +85,8 @@ def run_workload(build: Callable, num_threads: int, *,
     return run_built(machine, built, verify=verify)
 
 
-def _run_calls(build: Callable, calls: List[dict], jobs, cache) \
+def _run_calls(build: Callable, calls: List[dict], jobs, cache,
+               serial_threshold: Optional[int] = None) \
         -> List[ExperimentResult]:
     """Run many ``run_workload``-style calls (dicts of its keyword
     arguments, ``num_threads`` included) through the parallel layer.
@@ -105,14 +106,16 @@ def _run_calls(build: Callable, calls: List[dict], jobs, cache) \
                 memo[key] = run_workload(build, **call)
             results.append(memo[key])
         return results
-    return run_points(specs, jobs=jobs, cache=cache)
+    return run_points(specs, jobs=jobs, cache=cache,
+                      serial_threshold=serial_threshold)
 
 
 def speedup_curve(build: Callable, thread_counts: Iterable[int], *,
                   num_cores: int = 128, systems: Dict[str, dict] = None,
                   seed: int = 1, base_config: Optional[SystemConfig] = None,
                   verify: bool = True, jobs: Optional[int] = None,
-                  cache=None, **params) -> Dict[str, Dict[int, float]]:
+                  cache=None, serial_threshold: Optional[int] = None,
+                  **params) -> Dict[str, Dict[int, float]]:
     """Speedup series per system, normalized to 1-thread baseline cycles.
 
     ``systems`` maps a series name to flags for :func:`run_workload`
@@ -143,7 +146,7 @@ def speedup_curve(build: Callable, thread_counts: Iterable[int], *,
             calls.append(dict(common, num_threads=threads, commtm=commtm,
                               gather=gather, **merged))
 
-    results = _run_calls(build, calls, jobs, cache)
+    results = _run_calls(build, calls, jobs, cache, serial_threshold)
     base_cycles = results[0].cycles
 
     curves: Dict[str, Dict[int, float]] = {}
@@ -160,7 +163,8 @@ def collect_points(build: Callable, thread_counts: Iterable[int], *,
                    gather: Optional[bool] = None, seed: int = 1,
                    base_config: Optional[SystemConfig] = None,
                    verify: bool = True, jobs: Optional[int] = None,
-                   cache=None, **params) -> List[ExperimentResult]:
+                   cache=None, serial_threshold: Optional[int] = None,
+                   **params) -> List[ExperimentResult]:
     """Full :class:`ExperimentResult` per thread count (for breakdowns)."""
     calls = [
         dict(num_threads=threads, num_cores=num_cores, commtm=commtm,
@@ -168,4 +172,4 @@ def collect_points(build: Callable, thread_counts: Iterable[int], *,
              verify=verify, **params)
         for threads in thread_counts
     ]
-    return _run_calls(build, calls, jobs, cache)
+    return _run_calls(build, calls, jobs, cache, serial_threshold)

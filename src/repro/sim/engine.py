@@ -23,6 +23,7 @@ to the straightforward implementation.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -47,6 +48,17 @@ from .trace import EventKind
 #: Sentinel distinguishing "generator finished" from any yielded op (a body
 #: yielding ``None`` must still be rejected as an unknown operation).
 _FINISHED = object()
+
+#: Escape-hatch environment variable: any value other than ""/"0"/"false"
+#: forces every memory operation down the full protocol path (differential
+#: testing of the private-hit fast path). Read per Engine so tests can flip
+#: it between runs in one process.
+NO_FASTPATH_ENV = "REPRO_NO_FASTPATH"
+
+
+def fastpath_enabled() -> bool:
+    return os.environ.get(NO_FASTPATH_ENV, "").strip().lower() in (
+        "", "0", "false")
 
 
 @dataclass(slots=True)
@@ -103,18 +115,40 @@ class Engine:
         self._breakdown = self.stats.breakdown
         self._trace = machine.tracer.record
         self._commtm = self.config.commtm_enabled
+        self._eager = self.config.conflict_detection != "lazy"
         self._tx_begin_cycles = self.config.tx_begin_cycles
         self._tx_commit_cycles = self.config.tx_commit_cycles
-        self._handlers = {
-            Atomic: self._op_atomic,
-            Work: self._op_work,
-            Barrier: self._op_barrier,
-            Load: self._op_load,
-            Store: self._op_store,
-            LabeledLoad: self._op_labeled_load,
-            LabeledStore: self._op_labeled_store,
-            LoadGather: self._op_load_gather,
-        }
+        # Memory operations dispatch to the private-hit fast path by
+        # default; the ``_op_*_fast`` handlers fall back to the full
+        # handlers on anything but a stable private hit. REPRO_NO_FASTPATH
+        # swaps in the full handlers wholesale (zero per-op overhead in
+        # either mode).
+        self._fast_load = self.msys.fast_load
+        self._fast_store = self.msys.fast_store
+        self._fast_labeled_load = self.msys.fast_labeled_load
+        self._fast_labeled_store = self.msys.fast_labeled_store
+        if fastpath_enabled():
+            self._handlers = {
+                Atomic: self._op_atomic,
+                Work: self._op_work,
+                Barrier: self._op_barrier,
+                Load: self._op_load_fast,
+                Store: self._op_store_fast,
+                LabeledLoad: self._op_labeled_load_fast,
+                LabeledStore: self._op_labeled_store_fast,
+                LoadGather: self._op_load_gather_fast,
+            }
+        else:
+            self._handlers = {
+                Atomic: self._op_atomic,
+                Work: self._op_work,
+                Barrier: self._op_barrier,
+                Load: self._op_load,
+                Store: self._op_store,
+                LabeledLoad: self._op_labeled_load,
+                LabeledStore: self._op_labeled_store,
+                LoadGather: self._op_load_gather,
+            }
 
     # ------------------------------------------------------------------
 
@@ -193,9 +227,13 @@ class Engine:
     def _op_atomic(self, runner: ThreadRunner, op) -> None:
         core = runner.core
         if self._tx_active[core] is None:
-            self.htm.begin(core, ts=op.ts)  # OrderedAtomic: order == priority
+            tx = self.htm.begin(core, ts=op.ts)  # OrderedAtomic: order == priority
             self._trace(self._cycles[core], core, EventKind.TX_BEGIN)
-            self._charge(core, self._tx_begin_cycles)
+            # Inline _charge: a freshly begun transaction cannot be aborted.
+            cycles = self._tx_begin_cycles
+            self._breakdown[core].tx_committed += cycles
+            tx.cycles_this_attempt += cycles
+            self._cycles[core] += cycles
             runner.frames.append(
                 Frame(gen=op.make_generator(runner.ctx), atomic=op,
                       is_tx_root=True)
@@ -251,6 +289,169 @@ class Engine:
     # all share the _after_memory_op postlude. The baseline HTM
     # (commtm_enabled=False) and restarted transactions with labels
     # disabled execute labeled operations conventionally.
+    #
+    # The ``_op_*_fast`` variants try the coherence protocol's private-hit
+    # fast path first (see MemorySystem.fast_load and friends): a stable
+    # hit comes back as a bare (value, cycles) tuple — no Requester, no
+    # AccessResult, no occupancy bookkeeping — and anything else falls
+    # through to the full handler. A fast hit can still abort this core's
+    # own transaction through the L1 spec-eviction hook inside the LRU
+    # touch, so the postlude's aborted check is preserved inline.
+
+    # The charge+deliver postlude is written out inline in each fast
+    # handler (rather than shared through a helper): it is the equivalent
+    # of :meth:`_charge` with the transaction already in hand, and the
+    # handlers run once per memory operation. ``tx.aborted`` is re-read
+    # after the hit because the LRU touch can self-abort; an aborted hit
+    # never delivers a value (mirrors ``_after_memory_op``).
+
+    def _op_load_fast(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        fast = self._fast_load(core, op.addr, tx is not None)
+        if fast is None:
+            self._op_load(runner, op)
+            return
+        cycles = fast[1]
+        self.stats.instructions += 1
+        if tx is None:
+            self._breakdown[core].non_tx += cycles
+            runner.pending_value = fast[0]
+        elif tx.aborted:
+            self._breakdown[core].tx_aborted += cycles
+            self.stats.wasted_by_cause[tx.abort_cause] += cycles
+        else:
+            self._breakdown[core].tx_committed += cycles
+            tx.cycles_this_attempt += cycles
+            runner.pending_value = fast[0]
+        self._cycles[core] += cycles
+
+    def _op_store_fast(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        if tx is None:
+            cycles = self._fast_store(core, op.addr, op.value, False)
+            if cycles is not None:
+                self.stats.instructions += 1
+                self._breakdown[core].non_tx += cycles
+                self._cycles[core] += cycles
+                return
+        elif self._eager:  # lazy tx stores buffer; full path
+            cycles = self._fast_store(core, op.addr, op.value, True)
+            if cycles is not None:
+                self.stats.instructions += 1
+                if tx.aborted:
+                    self._breakdown[core].tx_aborted += cycles
+                    self.stats.wasted_by_cause[tx.abort_cause] += cycles
+                else:
+                    self._breakdown[core].tx_committed += cycles
+                    tx.cycles_this_attempt += cycles
+                self._cycles[core] += cycles
+                return
+        self._op_store(runner, op)
+
+    def _op_labeled_load_fast(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        if self._commtm and not (tx is not None and tx.labels_disabled):
+            fast = self._fast_labeled_load(core, op.addr, op.label,
+                                           tx is not None)
+            if fast is not None:
+                cycles = fast[1]
+                stats = self.stats
+                stats.instructions += 1
+                stats.labeled_instructions += 1
+                stats.labeled_by_label[op.label.name] += 1
+                if tx is None:
+                    self._breakdown[core].non_tx += cycles
+                    runner.pending_value = fast[0]
+                elif tx.aborted:
+                    self._breakdown[core].tx_aborted += cycles
+                    stats.wasted_by_cause[tx.abort_cause] += cycles
+                else:
+                    self._breakdown[core].tx_committed += cycles
+                    tx.cycles_this_attempt += cycles
+                    runner.pending_value = fast[0]
+                self._cycles[core] += cycles
+                return
+        else:  # conventional route (baseline HTM / disabled labels)
+            fast = self._fast_load(core, op.addr, tx is not None)
+            if fast is not None:
+                cycles = fast[1]
+                self.stats.instructions += 1
+                if tx is None:
+                    self._breakdown[core].non_tx += cycles
+                    runner.pending_value = fast[0]
+                elif tx.aborted:
+                    self._breakdown[core].tx_aborted += cycles
+                    self.stats.wasted_by_cause[tx.abort_cause] += cycles
+                else:
+                    self._breakdown[core].tx_committed += cycles
+                    tx.cycles_this_attempt += cycles
+                    runner.pending_value = fast[0]
+                self._cycles[core] += cycles
+                return
+        self._op_labeled_load(runner, op)
+
+    def _op_labeled_store_fast(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        if self._commtm and not (tx is not None and tx.labels_disabled):
+            cycles = self._fast_labeled_store(core, op.addr, op.label,
+                                              op.value, tx is not None)
+            if cycles is not None:
+                stats = self.stats
+                stats.instructions += 1
+                stats.labeled_instructions += 1
+                stats.labeled_by_label[op.label.name] += 1
+                if tx is None:
+                    self._breakdown[core].non_tx += cycles
+                elif tx.aborted:
+                    self._breakdown[core].tx_aborted += cycles
+                    stats.wasted_by_cause[tx.abort_cause] += cycles
+                else:
+                    self._breakdown[core].tx_committed += cycles
+                    tx.cycles_this_attempt += cycles
+                self._cycles[core] += cycles
+                return
+        elif tx is None or self._eager:  # conventional eager store route
+            cycles = self._fast_store(core, op.addr, op.value,
+                                      tx is not None)
+            if cycles is not None:
+                self.stats.instructions += 1
+                if tx is None:
+                    self._breakdown[core].non_tx += cycles
+                elif tx.aborted:
+                    self._breakdown[core].tx_aborted += cycles
+                    self.stats.wasted_by_cause[tx.abort_cause] += cycles
+                else:
+                    self._breakdown[core].tx_committed += cycles
+                    tx.cycles_this_attempt += cycles
+                self._cycles[core] += cycles
+                return
+        self._op_labeled_store(runner, op)
+
+    def _op_load_gather_fast(self, runner: ThreadRunner, op) -> None:
+        core = runner.core
+        tx = self._tx_active[core]
+        if not self._commtm or (tx is not None and tx.labels_disabled):
+            fast = self._fast_load(core, op.addr, tx is not None)
+            if fast is not None:
+                cycles = fast[1]
+                self.stats.instructions += 1
+                if tx is None:
+                    self._breakdown[core].non_tx += cycles
+                    runner.pending_value = fast[0]
+                elif tx.aborted:
+                    self._breakdown[core].tx_aborted += cycles
+                    self.stats.wasted_by_cause[tx.abort_cause] += cycles
+                else:
+                    self._breakdown[core].tx_committed += cycles
+                    tx.cycles_this_attempt += cycles
+                    runner.pending_value = fast[0]
+                self._cycles[core] += cycles
+                return
+        self._op_load_gather(runner, op)
 
     def _op_load(self, runner: ThreadRunner, op) -> None:
         core = runner.core
@@ -319,6 +520,7 @@ class Engine:
         self._after_memory_op(runner, core, res)
 
     def _after_memory_op(self, runner: ThreadRunner, core: int, res) -> None:
+        self.stats.host_fastpath_misses += 1
         self._charge(core, res.cycles)
 
         tx = self._tx_active[core]
@@ -378,8 +580,11 @@ class Engine:
             # post-commit pipeline drain is not speculative).
             self.htm.commit(core)
             self._trace(self._cycles[core], core, EventKind.TX_COMMIT)
-            self.stats.charge(core, self._tx_commit_cycles, in_tx=True)
-            self.clocks.advance(core, self._tx_commit_cycles)
+            # Inline stats.charge(in_tx=True) + clocks.advance: the commit
+            # latency lands in the committed bucket after the tx detaches.
+            cycles = self._tx_commit_cycles
+            self._breakdown[core].tx_committed += cycles
+            self._cycles[core] += cycles
         if not runner.frames:
             self.clocks.finish(core)
             self._live_threads -= 1

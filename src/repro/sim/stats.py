@@ -13,6 +13,7 @@ Collects everything the paper's evaluation reports:
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
@@ -87,6 +88,18 @@ class Stats:
     #: Reductions per label name.
     reductions_by_label: Counter = field(default_factory=Counter)
 
+    # --- host-side instrumentation ------------------------------------------
+    # ``host_*`` fields describe the *simulator*, not the simulated machine:
+    # they may legitimately differ between host-level optimizations that are
+    # bit-identical in simulated behaviour, and are therefore excluded from
+    # :meth:`comparable` (and from :meth:`summary`).
+
+    #: Memory operations serviced by the coherence protocol's private-hit
+    #: fast path (see ``MemorySystem.fast_load`` and friends).
+    host_fastpath_hits: int = 0
+    #: Memory operations that took the full protocol path.
+    host_fastpath_misses: int = 0
+
     def __post_init__(self) -> None:
         if self.num_cores and not self.breakdown:
             self.breakdown = [CoreCycleBreakdown() for _ in range(self.num_cores)]
@@ -146,6 +159,34 @@ class Stats:
     def abort_rate(self) -> float:
         attempts = self.commits + self.aborts
         return self.aborts / attempts if attempts else 0.0
+
+    @property
+    def fastpath_hit_rate(self) -> float:
+        """Fraction of memory operations serviced by the private-hit fast
+        path (host-side instrumentation; 0.0 with the fast path disabled)."""
+        total = self.host_fastpath_hits + self.host_fastpath_misses
+        return self.host_fastpath_hits / total if total else 0.0
+
+    def comparable(self) -> Dict[str, object]:
+        """Every *simulated* statistic as a plain dict, for equivalence
+        assertions (e.g. the fast-path differential tests). Host-side
+        ``host_*`` instrumentation fields are excluded; Counters are
+        normalized to plain dicts with string keys and no zero entries."""
+        out: Dict[str, object] = {}
+        for f in dataclasses.fields(self):
+            if f.name.startswith("host_"):
+                continue
+            value = getattr(self, f.name)
+            if f.name == "breakdown":
+                value = [(b.non_tx, b.tx_committed, b.tx_aborted)
+                         for b in value]
+            elif isinstance(value, Counter):
+                value = {
+                    (key.value if isinstance(key, enum.Enum) else key): count
+                    for key, count in value.items() if count
+                }
+            out[f.name] = value
+        return out
 
     def cycle_breakdown_totals(self) -> Dict[str, int]:
         return {

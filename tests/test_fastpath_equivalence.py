@@ -1,0 +1,80 @@
+"""Differential tests for the coherence protocol's private-hit fast path.
+
+The fast path (``MemorySystem.fast_load`` and friends, dispatched from the
+engine's ``_op_*_fast`` handlers) is a host-side optimization only: for
+every workload it must produce *bit-identical* simulated behaviour —
+cycles, aborts, traffic, breakdowns — to the full protocol path that
+``REPRO_NO_FASTPATH=1`` forces. These tests run every micro workload both
+ways and compare ``Stats.comparable()``, which covers every simulated
+statistic and excludes only the ``host_*`` instrumentation counters.
+"""
+
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.sim.engine import NO_FASTPATH_ENV, fastpath_enabled
+from repro.workloads.micro import (counter, linked_list, ordered_put,
+                                   refcount, topk)
+
+MICROS = {
+    "counter": counter.build,
+    "topk": topk.build,
+    "ordered_put": ordered_put.build,
+    "linked_list": linked_list.build,
+    "refcount": refcount.build,
+}
+
+
+def _run(build, *, commtm, seed, no_fastpath, monkeypatch):
+    if no_fastpath:
+        monkeypatch.setenv(NO_FASTPATH_ENV, "1")
+    else:
+        monkeypatch.delenv(NO_FASTPATH_ENV, raising=False)
+    return run_workload(build, 4, num_cores=16, commtm=commtm, seed=seed,
+                        total_ops=240)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+@pytest.mark.parametrize("commtm", [True, False],
+                         ids=["commtm", "baseline"])
+@pytest.mark.parametrize("name", sorted(MICROS))
+def test_fastpath_is_bit_identical(name, commtm, seed, monkeypatch):
+    build = MICROS[name]
+    fast = _run(build, commtm=commtm, seed=seed, no_fastpath=False,
+                monkeypatch=monkeypatch)
+    slow = _run(build, commtm=commtm, seed=seed, no_fastpath=True,
+                monkeypatch=monkeypatch)
+
+    assert fast.cycles == slow.cycles
+    assert fast.stats.parallel_cycles == slow.stats.parallel_cycles
+    assert fast.stats.aborts == slow.stats.aborts
+    assert fast.stats.commits == slow.stats.commits
+    # The full simulated surface: per-core breakdowns, wasted-cycle causes,
+    # coherence traffic, CommTM mechanism counts, instruction counts.
+    assert fast.stats.comparable() == slow.stats.comparable()
+
+    # The escape hatch really forces the slow path...
+    assert slow.stats.host_fastpath_hits == 0
+    # ...and the fast path really fires (every micro has private hits).
+    assert fast.stats.host_fastpath_hits > 0
+    assert 0.0 < fast.stats.fastpath_hit_rate <= 1.0
+    assert slow.stats.fastpath_hit_rate == 0.0
+
+
+def test_fastpath_env_parsing(monkeypatch):
+    for off in ("1", "true", "yes", " 1 "):
+        monkeypatch.setenv(NO_FASTPATH_ENV, off)
+        assert not fastpath_enabled()
+    for on in ("", "0", "false", " FALSE "):
+        monkeypatch.setenv(NO_FASTPATH_ENV, on)
+        assert fastpath_enabled()
+    monkeypatch.delenv(NO_FASTPATH_ENV)
+    assert fastpath_enabled()
+
+
+def test_counter_commtm_is_hit_dominated(monkeypatch):
+    # The labeled counter is the fast path's best case: after warmup every
+    # access is a U-state hit with a matching label.
+    res = _run(MICROS["counter"], commtm=True, seed=1, no_fastpath=False,
+               monkeypatch=monkeypatch)
+    assert res.stats.fastpath_hit_rate > 0.9

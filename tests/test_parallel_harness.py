@@ -85,10 +85,63 @@ def test_serial_and_parallel_sweeps_identical():
     specs = [_counter_spec(t, commtm=c, total_ops=40)
              for t in (1, 2) for c in (False, True)]
     serial = run_points(specs, jobs=1)
-    parallel = run_points(specs, jobs=4)
+    # serial_threshold=0 forces the pool despite the small spec count, so
+    # this test keeps exercising the real worker path.
+    parallel = run_points(specs, jobs=4, serial_threshold=0)
     assert [r.cycles for r in serial] == [r.cycles for r in parallel]
     assert [r.stats.summary() for r in serial] \
         == [r.stats.summary() for r in parallel]
+
+
+def test_pool_persists_across_sweeps():
+    from repro.harness import parallel as par
+
+    specs = [_counter_spec(t, commtm=c, total_ops=40)
+             for t in (1, 2) for c in (False, True)]
+    run_points(specs, jobs=2, serial_threshold=0)
+    pool = par._pool
+    assert pool is not None and par._pool_jobs == 2
+    run_points([_counter_spec(t, total_ops=41) for t in (1, 2)],
+               jobs=2, serial_threshold=0)
+    assert par._pool is pool  # reused, not rebuilt
+    # A different worker count rebuilds; shutdown clears.
+    run_points(specs, jobs=3, serial_threshold=0)
+    assert par._pool is not pool and par._pool_jobs == 3
+    par.shutdown_pool()
+    assert par._pool is None
+
+
+def test_small_sweep_falls_back_to_serial(caplog, monkeypatch):
+    from repro.harness import parallel as par
+
+    def boom(jobs):  # the pool must not be touched below the threshold
+        raise AssertionError("pool used for a below-threshold sweep")
+
+    monkeypatch.setattr(par, "get_pool", boom)
+    specs = [_counter_spec(t, commtm=c, total_ops=40)
+             for t in (1, 2) for c in (False, True)]
+    with caplog.at_level("INFO", logger="repro.harness"):
+        results = run_points(specs, jobs=4)  # 4 < default threshold of 10
+    assert len(results) == 4
+    assert any("below the serial threshold" in r.message
+               for r in caplog.records)
+
+
+def test_resolve_serial_threshold(monkeypatch):
+    from repro.harness.parallel import (DEFAULT_SERIAL_THRESHOLD,
+                                        SERIAL_THRESHOLD_ENV,
+                                        resolve_serial_threshold)
+
+    assert resolve_serial_threshold(5) == 5
+    assert resolve_serial_threshold(-3) == 0
+    monkeypatch.setenv(SERIAL_THRESHOLD_ENV, "17")
+    assert resolve_serial_threshold() == 17
+    assert resolve_serial_threshold(2) == 2  # explicit beats env
+    monkeypatch.setenv(SERIAL_THRESHOLD_ENV, "lots")
+    with pytest.raises(SimulationError):
+        resolve_serial_threshold()
+    monkeypatch.delenv(SERIAL_THRESHOLD_ENV)
+    assert resolve_serial_threshold() == DEFAULT_SERIAL_THRESHOLD
 
 
 def test_resolve_jobs(monkeypatch):
