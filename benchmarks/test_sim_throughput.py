@@ -33,6 +33,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.harness import ResultCache, make_spec, run_points
 from repro.harness.runner import run_workload
 from repro.sim.engine import NO_FASTPATH_ENV
@@ -96,11 +97,13 @@ def test_sim_throughput(tmp_path, monkeypatch):
         "smoke": SMOKE,
         "single_run_ops_per_sec": {},
         "fastpath": {},
+        "sanitize": {},
         "sweep_seconds": {},
         "sweep16_seconds": {},
     }
 
     monkeypatch.delenv(NO_FASTPATH_ENV, raising=False)
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
     for name, (build, params, reps) in SINGLE_RUNS.items():
         wall, result = _best_of(
             reps, lambda b=build, p=params: run_workload(b, 8, **p))
@@ -120,6 +123,23 @@ def test_sim_throughput(tmp_path, monkeypatch):
             "hit_rate": round(result.stats.fastpath_hit_rate, 4),
             "speedup": round(slow_wall / wall, 3),
         }
+
+    # One REPRO_SANITIZE=1 point: records what the full-sweep invariant
+    # checker costs (the slowdown is the price of --sanitize, not a
+    # regression — the sanitizer is off everywhere else). Simulated stats
+    # must be untouched by the instrumentation.
+    build, params, reps = SINGLE_RUNS["counter_commtm"]
+    wall, result = _best_of(
+        reps, lambda: run_workload(build, 8, **params))
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    san_wall, san_result = _best_of(
+        1 if SMOKE else 2, lambda: run_workload(build, 8, **params))
+    monkeypatch.delenv(SANITIZE_ENV)
+    assert san_result.stats.comparable() == result.stats.comparable()
+    report["sanitize"] = {
+        "run": "counter_commtm",
+        "slowdown": round(san_wall / wall, 2),
+    }
 
     specs = _sweep_specs(SWEEP_THREADS, SWEEP_OPS)
     serial_wall, serial_results = _best_of(

@@ -1,0 +1,82 @@
+"""CLI for the static analysis passes: ``python -m repro.analysis``.
+
+Runs the label-algebra law checker over every built-in datatype's
+contract suite, the label-discipline lint over the datatype and workload
+sources (plus any extra files/directories given), and the registry
+aliasing check over a registry populated with the standard labels.
+Exits 1 if any *error*-severity finding is produced; warnings are
+reported but do not gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .findings import errors_in, format_findings
+from .laws import DEFAULT_TRIALS, check_laws
+from .lint import check_paths, check_registry
+
+#: Default lint scope: the code that defines and uses labels.
+DEFAULT_LINT_DIRS = ("datatypes", "workloads")
+
+
+def _package_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def _standard_registry():
+    """A registry carrying every built-in suite's label, for alias checks."""
+    from ..core.labels import LabelRegistry
+    from ..datatypes.contracts import builtin_suites
+
+    registry = LabelRegistry(num_hw_labels=8, virtualize=True)
+    for suite in builtin_suites():
+        label = suite.make_label()
+        # Suites may share a factory (e.g. several ADD users); register
+        # each distinct label name once, as a linked program would.
+        if label.name not in registry:
+            registry.register(label)
+    return registry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="CommTM contract checks: label-algebra laws and "
+                    "label-discipline lint.")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="extra files or directories to lint "
+                             "(e.g. your workload sources)")
+    parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS,
+                        help="random trials per law suite "
+                             "(default %(default)s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed (default %(default)s)")
+    parser.add_argument("--skip-laws", action="store_true",
+                        help="skip the law checker")
+    parser.add_argument("--skip-lint", action="store_true",
+                        help="skip the source lint")
+    args = parser.parse_args(argv)
+
+    findings = []
+    if not args.skip_laws:
+        findings.extend(check_laws(trials=args.trials, seed=args.seed))
+        findings.extend(check_registry(_standard_registry()))
+    if not args.skip_lint:
+        root = _package_root()
+        lint_paths = [root / d for d in DEFAULT_LINT_DIRS]
+        lint_paths.extend(args.paths)
+        findings.extend(check_paths(lint_paths))
+
+    if findings:
+        print(format_findings(findings))
+    errors = errors_in(findings)
+    warnings = len(findings) - len(errors)
+    print(f"repro.analysis: {len(errors)} error(s), {warnings} warning(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

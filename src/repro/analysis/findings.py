@@ -1,0 +1,46 @@
+"""Shared finding/report types for the analysis passes.
+
+Every pass — the law checker, the label-discipline lint, and the runtime
+sanitizer — reports :class:`Finding` records with enough context (label,
+file, line, check name) to locate the offending contract or code without
+re-running the pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: Severity levels. ``error`` findings fail the CLI; ``warning`` findings
+#: are reported but do not gate.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect located by an analysis pass."""
+
+    pass_name: str           # "laws" | "lint" | "sanitizer"
+    check: str               # e.g. "commutativity", "mixed-access"
+    message: str             # human-readable description
+    severity: str = ERROR
+    label: Optional[str] = None   # label or suite name, when applicable
+    file: Optional[str] = None    # source file of the evidence
+    line: Optional[int] = None    # 1-based line number in ``file``
+
+    def format(self) -> str:
+        where = ""
+        if self.file is not None:
+            where = f"{self.file}:{self.line if self.line else '?'}: "
+        tag = f"[{self.pass_name}:{self.check}]"
+        label = f" (label {self.label})" if self.label else ""
+        return f"{where}{self.severity}: {tag}{label} {self.message}"
+
+
+def format_findings(findings: List[Finding]) -> str:
+    return "\n".join(f.format() for f in findings)
+
+
+def errors_in(findings: List[Finding]) -> List[Finding]:
+    return [f for f in findings if f.severity == ERROR]

@@ -1,0 +1,175 @@
+"""Seeded property-based verification of the label algebra.
+
+CommTM assumes, and never checks, that every label satisfies an algebraic
+contract (Secs. III-A, III-B4, IV):
+
+* **commutativity** — ``reduce(a, b) == reduce(b, a)``: partial lines may
+  merge in any order (sharer order is timing-dependent);
+* **associativity** — ``reduce(reduce(a, b), c) == reduce(a, reduce(b, c))``:
+  reductions and U-evictions merge in arbitrary groupings;
+* **identity** — ``reduce(x, identity) == x`` both ways: lines entering U
+  without data initialize to the identity (GETU cases 4-5), and identity
+  padding must be harmless in whole-line reductions;
+* **identity detection** — ``is_identity_line(identity_line())`` is true
+  (the protocol drops empty gather donations through it);
+* **splitter soundness** — ``reduce(kept, donated)`` reconstructs the
+  original line for every sharer count (gathers must conserve state).
+
+A violated law never crashes the simulator — it silently corrupts
+results, exactly the failure mode Koskinen & Bansal's commutativity-
+verification line of work targets. This pass checks the laws by seeded
+random sampling over value generators contributed by each datatype
+(:func:`repro.datatypes.builtin_suites`); equality is taken through the
+suite's observation function, so semantically-commutative descriptors
+(linked lists, heaps) are compared by the state they represent rather
+than bit-for-bit.
+
+Handlers run against a fresh :class:`~repro.datatypes.StubMemory` per
+law side, so line-level handlers that mutate memory (list concatenation)
+cannot contaminate the other side of an equation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.labels import Label
+from ..datatypes.contracts import LawSuite, StubMemory
+from .findings import ERROR, Finding
+
+#: Sharer counts a splitter is exercised with (1 sharer is the degenerate
+#: sole-holder gather; 128 is the Table I machine's core count).
+SPLIT_WAYS = (1, 2, 3, 8, 128)
+
+DEFAULT_TRIALS = 64
+
+
+def _handler_site(label: Label) -> tuple:
+    """(file, line) of the label's reduction handler, for finding context."""
+    fn = label._reduce_word if label._reduce_word is not None \
+        else label._reduce_line
+    code = getattr(fn, "__code__", None)
+    if code is None:  # e.g. a bound method or C callable
+        return None, None
+    return code.co_filename, code.co_firstlineno
+
+
+class _LawRun:
+    """One suite's law evaluation: shared RNG, per-side memory clones."""
+
+    def __init__(self, suite: LawSuite, label: Label, seed: int):
+        self.suite = suite
+        self.label = label
+        self.seed = seed
+        self.findings: List[Finding] = []
+        self._file, self._line = _handler_site(label)
+
+    def fail(self, check: str, message: str) -> None:
+        self.findings.append(Finding(
+            pass_name="laws", check=check, severity=ERROR,
+            label=self.suite.name, message=message,
+            file=self._file, line=self._line,
+        ))
+
+    # -- helpers -----------------------------------------------------------
+
+    def reduce(self, mem: StubMemory, dst, src):
+        return self.label.reduce(mem.context(), list(dst), list(src))
+
+    def observed(self, mem: StubMemory, words):
+        return self.suite.observed(mem, words)
+
+    # -- one trial ---------------------------------------------------------
+
+    def run_trial(self, trial: int) -> None:
+        rng = random.Random((self.seed, self.suite.name, trial).__repr__())
+        mem0 = StubMemory()
+        a = self.suite.gen(rng, mem0)
+        b = self.suite.gen(rng, mem0)
+        c = self.suite.gen(rng, mem0)
+        ctx = f"(seed={self.seed}, trial={trial})"
+
+        # Identity, both ways.
+        ident = self.label.identity_line()
+        mem = mem0.clone()
+        if self.observed(mem, self.reduce(mem, a, ident)) \
+                != self.observed(mem0.clone(), a):
+            self.fail("identity",
+                      f"reduce(x, identity) != x {ctx}: x={a!r}")
+        mem = mem0.clone()
+        if self.observed(mem, self.reduce(mem, ident, a)) \
+                != self.observed(mem0.clone(), a):
+            self.fail("identity",
+                      f"reduce(identity, x) != x {ctx}: x={a!r}")
+
+        # Commutativity.
+        mem_ab, mem_ba = mem0.clone(), mem0.clone()
+        ab = self.observed(mem_ab, self.reduce(mem_ab, a, b))
+        ba = self.observed(mem_ba, self.reduce(mem_ba, b, a))
+        if ab != ba:
+            self.fail("commutativity",
+                      f"reduce(a, b) != reduce(b, a) {ctx}: "
+                      f"a={a!r} b={b!r} -> {ab!r} vs {ba!r}")
+
+        # Associativity.
+        mem_l, mem_r = mem0.clone(), mem0.clone()
+        left = self.observed(
+            mem_l, self.reduce(mem_l, self.reduce(mem_l, a, b), c))
+        right = self.observed(
+            mem_r, self.reduce(mem_r, a, self.reduce(mem_r, b, c)))
+        if left != right:
+            self.fail("associativity",
+                      f"reduce(reduce(a,b),c) != reduce(a,reduce(b,c)) "
+                      f"{ctx}: a={a!r} b={b!r} c={c!r}")
+
+        # Splitter soundness: reduce(kept, donated) reconstructs the line.
+        if self.label.supports_gather:
+            want = self.observed(mem0.clone(), a)
+            for ways in SPLIT_WAYS:
+                mem = mem0.clone()
+                kept, donated = self.label.split(mem.context(), list(a), ways)
+                got = self.observed(mem, self.reduce(mem, kept, donated))
+                if got != want:
+                    self.fail("splitter",
+                              f"reduce(kept, donated) != original for "
+                              f"{ways}-way split {ctx}: x={a!r} "
+                              f"kept={kept!r} donated={donated!r}")
+                    break
+
+    def run(self, trials: int) -> List[Finding]:
+        # Structural check first: the identity line must self-report as
+        # identity, or gathers will forward empty donations forever.
+        if not self.label.is_identity_line(self.label.identity_line()):
+            self.fail("identity-detection",
+                      "is_identity_line(identity_line()) is False")
+        for trial in range(trials):
+            before = len(self.findings)
+            try:
+                self.run_trial(trial)
+            except Exception as exc:  # handler crashed on generated input
+                self.fail("handler-crash",
+                          f"handler raised {type(exc).__name__}: {exc} "
+                          f"(seed={self.seed}, trial={trial})")
+            if len(self.findings) > before:
+                break  # one counterexample per suite is enough
+        return self.findings
+
+
+def check_suite(suite: LawSuite, trials: int = DEFAULT_TRIALS,
+                seed: int = 0) -> List[Finding]:
+    """Check every algebraic law of one suite; returns its findings."""
+    label = suite.make_label()
+    return _LawRun(suite, label, seed).run(trials)
+
+
+def check_laws(suites: Optional[Sequence[LawSuite]] = None,
+               trials: int = DEFAULT_TRIALS, seed: int = 0) -> List[Finding]:
+    """Check all suites (default: every built-in datatype's)."""
+    if suites is None:
+        from ..datatypes.contracts import builtin_suites
+        suites = builtin_suites()
+    findings: List[Finding] = []
+    for suite in suites:
+        findings.extend(check_suite(suite, trials=trials, seed=seed))
+    return findings

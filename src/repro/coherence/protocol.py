@@ -124,6 +124,10 @@ class MemorySystem:
         self.conflicts: ConflictManagerBase = NoTransactions()
         #: Optional Tracer (set by the Machine facade).
         self.tracer = None
+        #: Optional CoherenceSanitizer (set by the Machine facade when
+        #: sanitizing; see repro.analysis.sanitizer). None keeps every
+        #: operation on its original path.
+        self.sanitizer = None
         self._in_handler = False
         #: Per-line end-of-service time at the home directory bank: a
         #: directory transaction reserves its line, so contended lines
@@ -441,21 +445,27 @@ class MemorySystem:
     # Public operations
     # ------------------------------------------------------------------
 
+    def _finish(self, requester: Requester, res: AccessResult) -> AccessResult:
+        """Occupancy postlude + sanitizer checkpoint for one public op."""
+        res = self._apply_occupancy(requester, res)
+        if self.sanitizer is not None:
+            self.sanitizer.check()
+        return res
+
     def load(self, core: int, addr: int, requester: Requester) -> AccessResult:
         check_word_aligned(addr)
-        return self._apply_occupancy(requester,
-                                     self._load(core, addr, requester))
+        return self._finish(requester, self._load(core, addr, requester))
 
     def store(self, core: int, addr: int, value: object,
               requester: Requester) -> AccessResult:
         check_word_aligned(addr)
-        return self._apply_occupancy(
+        return self._finish(
             requester, self._store(core, addr, value, requester))
 
     def labeled_load(self, core: int, addr: int, label: Label,
                      requester: Requester) -> AccessResult:
         check_word_aligned(addr)
-        return self._apply_occupancy(
+        return self._finish(
             requester,
             self._labeled_access(core, addr, label, requester,
                                  value=None, is_store=False))
@@ -463,7 +473,7 @@ class MemorySystem:
     def labeled_store(self, core: int, addr: int, label: Label,
                       value: object, requester: Requester) -> AccessResult:
         check_word_aligned(addr)
-        return self._apply_occupancy(
+        return self._finish(
             requester,
             self._labeled_access(core, addr, label, requester,
                                  value=value, is_store=True))
@@ -471,7 +481,7 @@ class MemorySystem:
     def load_gather(self, core: int, addr: int, label: Label,
                     requester: Requester) -> AccessResult:
         check_word_aligned(addr)
-        return self._apply_occupancy(
+        return self._finish(
             requester, self._gather(core, addr, label, requester))
 
     # ------------------------------------------------------------------
@@ -496,7 +506,7 @@ class MemorySystem:
         entry = cache.lookup(line_no)
         if entry is not None and entry.state is State.U:
             # Same rules as eager mode for reducible data.
-            return self._apply_occupancy(
+            return self._finish(
                 requester, self._store(core, addr, value, requester))
         if entry is None or not entry.state.can_read:
             res = self._apply_occupancy(
@@ -510,6 +520,8 @@ class MemorySystem:
         self._write_word(entry, addr, value, requester, labeled=False)
         if entry.state is State.M and entry.clean_words is not None:
             pass  # already exclusive: the publish will be free
+        if self.sanitizer is not None:
+            self.sanitizer.check()
         return res
 
     def publish_line(self, core: int, line_no: int,
@@ -554,7 +566,7 @@ class MemorySystem:
         ent.check()
         entry.state = State.M
         entry.dirty = True
-        return self._apply_occupancy(requester, res)
+        return self._finish(requester, res)
 
     # ------------------------------------------------------------------
     # Conventional load

@@ -70,6 +70,7 @@ class Label:
         split_word: Optional[SplitWordFn] = None,
         reduce_line: Optional[ReduceLineFn] = None,
         split_line: Optional[SplitLineFn] = None,
+        is_identity_word: Optional[Callable[[object], bool]] = None,
     ):
         if (reduce_word is None) == (reduce_line is None):
             raise LabelError(
@@ -85,6 +86,7 @@ class Label:
         self._split_word = split_word
         self._reduce_line = reduce_line
         self._split_line = split_line
+        self._is_identity_word = is_identity_word
         #: Assigned by the registry.
         self.label_id: Optional[int] = None
 
@@ -96,6 +98,19 @@ class Label:
         return [self.identity] * WORDS_PER_LINE
 
     def is_identity_line(self, words: List[object]) -> bool:
+        """True if ``words`` carries no information under this label.
+
+        Routes through the label's own ``is_identity_word`` predicate when
+        one is supplied: descriptor-based (line-level) labels often admit
+        several encodings of "empty" — e.g. untouched memory words read as
+        ``0`` while the declared identity is ``None`` or ``()`` — and plain
+        word equality with the identity would misclassify them. The
+        protocol uses this test to drop empty gather donations, so a wrong
+        answer costs a needless (or a missed) reduction call.
+        """
+        pred = self._is_identity_word
+        if pred is not None:
+            return all(pred(w) for w in words)
         return all(w == self.identity for w in words)
 
     def reduce(self, ctx: HandlerContext, dst: List[object],
@@ -124,9 +139,12 @@ class Label:
 
 
 def wordwise_label(name: str, identity: object, reduce_word: ReduceWordFn,
-                   split_word: Optional[SplitWordFn] = None) -> Label:
+                   split_word: Optional[SplitWordFn] = None,
+                   is_identity_word: Optional[Callable[[object], bool]] = None,
+                   ) -> Label:
     """Convenience constructor for flat-value labels."""
-    return Label(name, identity, reduce_word=reduce_word, split_word=split_word)
+    return Label(name, identity, reduce_word=reduce_word,
+                 split_word=split_word, is_identity_word=is_identity_word)
 
 
 class LabelRegistry:
@@ -212,7 +230,8 @@ def min_label(name: str = "MIN") -> Label:
             return a
         return a if a <= b else b
 
-    return wordwise_label(name, identity=None, reduce_word=reduce)
+    return wordwise_label(name, identity=None, reduce_word=reduce,
+                          is_identity_word=lambda w: w is None)
 
 
 def max_label(name: str = "MAX") -> Label:
@@ -225,7 +244,8 @@ def max_label(name: str = "MAX") -> Label:
             return a
         return a if a >= b else b
 
-    return wordwise_label(name, identity=None, reduce_word=reduce)
+    return wordwise_label(name, identity=None, reduce_word=reduce,
+                          is_identity_word=lambda w: w is None)
 
 
 def oput_label(name: str = "OPUT") -> Label:
@@ -241,4 +261,8 @@ def oput_label(name: str = "OPUT") -> Label:
             return a
         return a if a[0] <= b[0] else b
 
-    return wordwise_label(name, identity=None, reduce_word=reduce)
+    # Both None and 0 encode "no pair yet" (see reduce above), so the
+    # identity test must accept both — otherwise gathers would forward
+    # all-zero donated lines as if they carried data.
+    return wordwise_label(name, identity=None, reduce_word=reduce,
+                          is_identity_word=lambda w: w is None or w == 0)

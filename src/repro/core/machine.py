@@ -59,7 +59,8 @@ class Machine:
     """One simulated multicore chip (Table I system + CommTM extensions)."""
 
     def __init__(self, config: Optional[SystemConfig] = None,
-                 virtualize_labels: bool = False):
+                 virtualize_labels: bool = False,
+                 sanitize: Optional[bool] = None):
         self.config = config if config is not None else SystemConfig()
         self.stats = Stats(num_cores=self.config.num_cores)
         from ..sim.trace import Tracer
@@ -72,6 +73,15 @@ class Machine:
         self.msys = MemorySystem(self.config, self.memory, self.labels,
                                  self.stats, self.rng)
         self.msys.tracer = self.tracer
+        # Opt-in coherence-invariant checking (repro.analysis.sanitizer).
+        # ``sanitize`` is kept out of SystemConfig on purpose: it cannot
+        # change simulated results, so it must not perturb the result
+        # cache's config fingerprints. None defers to REPRO_SANITIZE.
+        from ..analysis.sanitizer import CoherenceSanitizer, sanitize_enabled
+        self.sanitizer: Optional[CoherenceSanitizer] = None
+        if sanitize if sanitize is not None else sanitize_enabled():
+            self.sanitizer = CoherenceSanitizer(self.msys)
+            self.msys.sanitizer = self.sanitizer
         self.conflicts = ConflictManager(self.msys.caches, self.stats,
                                          policy=self.config.conflict_policy)
         self.msys.attach_conflict_manager(self.conflicts)

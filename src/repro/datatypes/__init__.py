@@ -11,6 +11,7 @@ sets, min/max cells, and resizable hash tables whose remaining-space
 counter is a bounded counter.
 """
 
+from .contracts import LawSuite, StubMemory, builtin_suites, wordwise_gen
 from .counter import SharedCounter
 from .bounded_counter import BoundedCounter
 from .linked_list import ConcurrentLinkedList
@@ -22,6 +23,10 @@ from .histogram import Histogram
 from .bloom_filter import BloomFilter
 
 __all__ = [
+    "LawSuite",
+    "StubMemory",
+    "builtin_suites",
+    "wordwise_gen",
     "BloomFilter",
     "SharedCounter",
     "BoundedCounter",

@@ -83,3 +83,17 @@ class BloomFilter:
             total += bin(machine.read_word(
                 self._base + w * WORD_BYTES)).count("1")
         return total
+
+
+def law_suites():
+    """Contract suite: OR over sparse 64-bit masks (strictly commutative)."""
+    from .contracts import LawSuite, wordwise_gen
+
+    def gen_word(rng):
+        mask = 0
+        for _ in range(rng.randint(0, 4)):
+            mask |= 1 << rng.randrange(BITS_PER_WORD)
+        return mask
+
+    return [LawSuite(name="bloom_filter/OR", make_label=or_label,
+                     gen=wordwise_gen(gen_word))]

@@ -67,3 +67,19 @@ class BoundedCounter:
     def read(self, ctx):
         value = yield Load(self.addr)
         return value
+
+
+def law_suites():
+    """Contract suite: ADD over non-negative counter mass.
+
+    The bounded counter's gathers redistribute strictly positive values,
+    so this domain is where the ADD splitter's ceil-share donation and its
+    conservation law (``kept + donated == value``) actually run.
+    """
+    from .contracts import LawSuite, wordwise_gen
+
+    return [LawSuite(
+        name="bounded_counter/ADD",
+        make_label=add_label,
+        gen=wordwise_gen(lambda rng: rng.randint(0, 64)),
+    )]

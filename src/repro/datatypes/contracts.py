@@ -1,0 +1,118 @@
+"""Algebraic-contract declarations for the built-in labels.
+
+CommTM's correctness rests on contracts the hardware never checks
+(Secs. III-A, III-B4, IV of the paper): all operations under one label
+must commute, ``reduce(x, identity) == x`` must hold, and splitters must
+conserve state. This module is where each datatype *declares* its
+contract as a checkable artifact — a :class:`LawSuite` pairing the
+datatype's label with a seeded value generator (and, for labels that are
+only *semantically* commutative, an observation function defining which
+differences are meaningless).
+
+The law checker (:mod:`repro.analysis.laws`) runs the algebraic laws
+against these suites; each datatype module contributes its generator via
+a ``law_suite()`` function collected by :func:`builtin_suites`.
+
+Semantic commutativity and observation functions
+------------------------------------------------
+
+Strictly commutative labels (ADD, OR) produce bit-identical lines in any
+reduction order, so the default observation — the words themselves — is
+the right equality. Descriptor-based labels are commutative only up to an
+abstraction function: concatenating two partial linked lists in either
+order yields different pointer chains that represent the same *set* of
+elements (Fig. 11). Their suites supply ``observe``, mapping a line (plus
+the stub memory its descriptors point into) to the canonical value the
+laws are stated over.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.labels import HandlerContext, Label
+from ..params import WORD_BYTES, WORDS_PER_LINE
+
+
+class StubMemory:
+    """Flat word-addressed memory for running handlers outside a machine.
+
+    Line-level reduction handlers and splitters perform real memory
+    accesses through a :class:`~repro.core.labels.HandlerContext`; the law
+    checker runs them against this stub instead of a simulated machine.
+    Reads of untouched words return 0, matching
+    :class:`~repro.mem.memory.MainMemory`. ``clone()`` snapshots the
+    contents so both sides of a law can be evaluated from the same initial
+    state even when the handlers mutate memory.
+    """
+
+    def __init__(self, words: Optional[dict] = None, next_addr: int = 0x1000):
+        self._words = dict(words) if words else {}
+        self._next = next_addr
+
+    def read(self, addr: int) -> object:
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: object) -> None:
+        self._words[addr] = value
+
+    def alloc_words(self, count: int) -> int:
+        """Reserve ``count`` word-aligned slots; returns the base address."""
+        base = self._next
+        self._next += count * WORD_BYTES
+        return base
+
+    def clone(self) -> "StubMemory":
+        return StubMemory(self._words, self._next)
+
+    def context(self) -> HandlerContext:
+        return HandlerContext(self.read, self.write)
+
+
+#: Generates one line (``WORDS_PER_LINE`` words) of representative values,
+#: allocating any out-of-line state (e.g. list nodes) in the stub memory.
+ValueGen = Callable[[random.Random, StubMemory], List[object]]
+
+#: Maps (memory, line) to the canonical value equality is checked over.
+ObserveFn = Callable[[StubMemory, List[object]], object]
+
+
+@dataclass(frozen=True)
+class LawSuite:
+    """One datatype's checkable contract: a label plus its value domain."""
+
+    name: str                      # suite name, e.g. "counter/ADD"
+    make_label: Callable[[], Label]
+    gen: ValueGen
+    observe: Optional[ObserveFn] = None  # None: compare words directly
+
+    def observed(self, mem: StubMemory, words: List[object]) -> object:
+        if self.observe is None:
+            return list(words)
+        return self.observe(mem, words)
+
+
+def wordwise_gen(gen_word: Callable[[random.Random], object]) -> ValueGen:
+    """Lift a per-word value generator to a whole-line generator."""
+
+    def gen(rng: random.Random, mem: StubMemory) -> List[object]:
+        return [gen_word(rng) for _ in range(WORDS_PER_LINE)]
+
+    return gen
+
+
+def builtin_suites() -> List[LawSuite]:
+    """All contract suites contributed by the built-in datatypes."""
+    from . import (bloom_filter, bounded_counter, counter, hash_table,
+                   histogram, linked_list, minmax, ordered_put, topk)
+
+    suites: List[LawSuite] = []
+    for module in (counter, bounded_counter, histogram, hash_table,
+                   minmax, ordered_put, topk, linked_list, bloom_filter):
+        contributed = module.law_suites()
+        if not contributed:
+            raise ValueError(f"{module.__name__} contributed no law suites")
+        suites.extend(contributed)
+    return suites

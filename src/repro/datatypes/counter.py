@@ -37,3 +37,14 @@ class SharedCounter:
         """Non-commutative read: triggers a reduction."""
         value = yield Load(self.addr)
         return value
+
+
+def law_suites():
+    """Contract suite: ADD over signed deltas (counters go both ways)."""
+    from .contracts import LawSuite, wordwise_gen
+
+    return [LawSuite(
+        name="counter/ADD",
+        make_label=add_label,
+        gen=wordwise_gen(lambda rng: rng.randint(-1_000, 1_000)),
+    )]

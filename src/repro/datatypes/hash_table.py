@@ -166,3 +166,20 @@ class ResizableHashTable:
             for k, v in chain:
                 out.setdefault(k, v)
         return out
+
+
+def law_suites():
+    """Contract suite: ADD over remaining-space counter mass.
+
+    The resizable table's hot spot is the remaining-space bounded counter;
+    its gathers split capacities in the hundreds across up to 128 sharers,
+    a larger domain than the generic counter suite exercises.
+    """
+    from ..core.labels import add_label
+    from .contracts import LawSuite, wordwise_gen
+
+    return [LawSuite(
+        name="hash_table/ADD",
+        make_label=add_label,
+        gen=wordwise_gen(lambda rng: rng.randint(0, 4096)),
+    )]

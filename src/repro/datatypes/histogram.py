@@ -55,3 +55,18 @@ class Histogram:
         """All bin values (run flush_reducible() first)."""
         return [machine.read_word(self.bin_addr(i))
                 for i in range(self.num_bins)]
+
+
+def law_suites():
+    """Contract suite: ADD over packed bins, heavy in identity padding.
+
+    Histograms rely on identity padding making whole-line reductions safe
+    for partially-used lines, so this generator leans on zeros.
+    """
+    from .contracts import LawSuite, wordwise_gen
+
+    def gen_word(rng):
+        return 0 if rng.random() < 0.5 else rng.randint(1, 16)
+
+    return [LawSuite(name="histogram/ADD", make_label=add_label,
+                     gen=wordwise_gen(gen_word))]

@@ -70,6 +70,54 @@ def _split_descriptor(hctx, desc):
     return kept, (head, head)
 
 
+def law_suites():
+    """Contract suite: LIST descriptors over real node chains.
+
+    The reducer and splitter dereference node pointers, so the generator
+    materializes chains in the stub memory and the observation walks them:
+    two descriptors are equivalent iff they reach the same multiset of
+    element values (concatenation order is exactly what semantic
+    commutativity abstracts away, Fig. 11).
+    """
+    from .contracts import LawSuite
+
+    def gen(rng, mem):
+        def make_chain():
+            length = rng.randint(0, 3)
+            if length == 0:
+                return EMPTY
+            nodes = []
+            for _ in range(length):
+                addr = mem.alloc_words(2)
+                mem.write(addr, rng.randint(0, 99))
+                nodes.append(addr)
+            for prev, nxt in zip(nodes, nodes[1:]):
+                mem.write(prev + WORD_BYTES, nxt)
+            mem.write(nodes[-1] + WORD_BYTES, 0)
+            return (nodes[0], nodes[-1])
+
+        from ..params import WORDS_PER_LINE
+        return [make_chain() for _ in range(WORDS_PER_LINE)]
+
+    def observe(mem, words):
+        out = []
+        for desc in words:
+            if desc == EMPTY:
+                out.append(())
+                continue
+            values, cur = [], desc[0]
+            while cur:
+                values.append(mem.read(cur))
+                cur = mem.read(cur + WORD_BYTES)
+                if len(values) > 1_000:
+                    raise AssertionError("linked-list chain cycle")
+            out.append(tuple(sorted(values)))
+        return out
+
+    return [LawSuite(name="linked_list/LIST", make_label=_list_label,
+                     gen=gen, observe=observe)]
+
+
 class ConcurrentLinkedList:
     """A linked list used as an unordered set / work-sharing queue."""
 

@@ -32,6 +32,21 @@ class SharedMin:
         return value
 
 
+def law_suites():
+    """Contract suites: MIN and MAX over ints mixed with the None identity."""
+    from .contracts import LawSuite, wordwise_gen
+
+    def gen_word(rng):
+        return None if rng.random() < 0.25 else rng.randint(-100, 100)
+
+    return [
+        LawSuite(name="minmax/MIN", make_label=min_label,
+                 gen=wordwise_gen(gen_word)),
+        LawSuite(name="minmax/MAX", make_label=max_label,
+                 gen=wordwise_gen(gen_word)),
+    ]
+
+
 class SharedMax:
     """Keeps the maximum of all values written to it."""
 

@@ -39,3 +39,33 @@ class OrderedPutCell:
         """Non-commutative read of the winning pair (reduces)."""
         pair = yield Load(self.addr)
         return pair
+
+
+def law_suites():
+    """Contract suite: OPUT over (key, value) pairs and empty encodings.
+
+    Two subtleties the generator and observer encode:
+
+    * the value is derived from the key — ordered puts commute only when
+      equal keys carry equal values (ties between different values would
+      resolve by arrival order, which is exactly what the contract rules
+      out);
+    * both ``None`` and ``0`` encode "no pair yet" (untouched memory reads
+      as 0), so the observation canonicalizes them before comparing.
+    """
+    from .contracts import LawSuite, wordwise_gen
+
+    def gen_word(rng):
+        r = rng.random()
+        if r < 0.15:
+            return None
+        if r < 0.30:
+            return 0
+        key = rng.randint(0, 50)
+        return (key, f"v{key}")
+
+    def observe(mem, words):
+        return [None if w is None or w == 0 else w for w in words]
+
+    return [LawSuite(name="ordered_put/OPUT", make_label=oput_label,
+                     gen=wordwise_gen(gen_word), observe=observe)]

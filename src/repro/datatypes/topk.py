@@ -38,7 +38,10 @@ def topk_label(k: int, name: str = "TOPK") -> Label:
             for a, b in zip(dst, src)
         ]
 
-    return Label(name, identity=EMPTY, reduce_line=reduce_line)
+    # Untouched memory words read as 0; the reducer above already treats
+    # 0 as an empty heap, and the identity test must agree.
+    return Label(name, identity=EMPTY, reduce_line=reduce_line,
+                 is_identity_word=lambda w: w == 0 or w == EMPTY)
 
 
 class TopKSet:
@@ -87,3 +90,27 @@ def _insert_sorted(heap, value):
     lst = list(heap)
     bisect.insort(lst, value)
     return tuple(lst)
+
+
+def law_suites():
+    """Contract suite: TOPK (K=4) over partial heaps and empty encodings.
+
+    Merging is commutative only because every partial heap is kept sorted
+    and the merge re-sorts — the observation canonicalizes the 0 and ``()``
+    encodings of "empty" but compares heap contents exactly.
+    """
+    from .contracts import LawSuite, wordwise_gen
+
+    K = 4
+
+    def gen_word(rng):
+        if rng.random() < 0.2:
+            return 0 if rng.random() < 0.5 else EMPTY
+        return tuple(sorted(rng.randint(0, 100)
+                            for _ in range(rng.randint(1, K))))
+
+    def observe(mem, words):
+        return [EMPTY if w == 0 else w for w in words]
+
+    return [LawSuite(name="topk/TOPK", make_label=lambda: topk_label(K),
+                     gen=wordwise_gen(gen_word), observe=observe)]

@@ -41,6 +41,18 @@ class ReductionError(ReproError):
     """
 
 
+class SanitizerError(ReproError):
+    """A coherence invariant was violated at a sanitizer checkpoint.
+
+    Raised by :mod:`repro.analysis.sanitizer` (opt-in, ``REPRO_SANITIZE=1``)
+    when the memory system's global state breaks an SWMR-style invariant:
+    two exclusive holders, M/E coexisting with S/U copies, U sharers with
+    disagreeing labels, or a directory entry out of sync with the private
+    caches. Unlike :class:`ProtocolError` these are checked *between*
+    protocol steps, over the whole machine, not at the point of a single
+    illegal transition."""
+
+
 class TransactionError(ReproError):
     """Misuse of the transactional API (e.g. tx_end without tx_begin,
     labeled access outside a transaction)."""

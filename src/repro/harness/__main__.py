@@ -61,6 +61,11 @@ def main(argv=None) -> int:
                         help="result-cache directory "
                              "(default: $REPRO_CACHE_DIR, else "
                              "~/.cache/repro-commtm)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="check MESI+U coherence invariants after "
+                             "every memory operation (slow; equivalent "
+                             "to REPRO_SANITIZE=1). Implies --no-cache "
+                             "so every point is actually simulated")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile; print the top 25 "
                              "functions by cumulative time to stderr")
@@ -81,6 +86,14 @@ def main(argv=None) -> int:
         handler.setFormatter(logging.Formatter("[harness] %(message)s"))
         harness_log.addHandler(handler)
         harness_log.setLevel(logging.INFO)
+
+    if args.sanitize:
+        # Worker pools inherit the environment, so the flag reaches every
+        # sweep point; cached results were never sanitized, so skip them.
+        from ..analysis.sanitizer import SANITIZE_ENV
+
+        os.environ[SANITIZE_ENV] = "1"
+        args.no_cache = True
 
     threads = [int(x) for x in args.threads.split(",") if x]
     cache = None if args.no_cache else ResultCache(args.cache_dir)

@@ -138,7 +138,20 @@ class Engine:
                 LabeledStore: self._op_labeled_store_fast,
                 LoadGather: self._op_load_gather_fast,
             }
+            # When sanitizing, checkpoint after every memory op. Fast-path
+            # private hits never reach MemorySystem's public ops (where the
+            # slow-path checkpoint lives), so the handler table itself is
+            # wrapped — the table is rebuilt per Engine, so the unsanitized
+            # hot path keeps its direct bindings.
+            sanitizer = getattr(machine, "sanitizer", None)
+            if sanitizer is not None:
+                for op_cls in (Load, Store, LabeledLoad, LabeledStore,
+                               LoadGather):
+                    self._handlers[op_cls] = self._sanitized_handler(
+                        self._handlers[op_cls], sanitizer.check)
         else:
+            # Full handlers route through MemorySystem's public ops, which
+            # already checkpoint when machine.sanitizer is installed.
             self._handlers = {
                 Atomic: self._op_atomic,
                 Work: self._op_work,
@@ -149,6 +162,16 @@ class Engine:
                 LabeledStore: self._op_labeled_store,
                 LoadGather: self._op_load_gather,
             }
+
+    @staticmethod
+    def _sanitized_handler(handler, check):
+        """Wrap a memory-op handler with a sanitizer checkpoint."""
+
+        def sanitized(runner, op):
+            handler(runner, op)
+            check()
+
+        return sanitized
 
     # ------------------------------------------------------------------
 

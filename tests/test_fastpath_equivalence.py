@@ -11,6 +11,7 @@ statistic and excludes only the ``host_*`` instrumentation counters.
 
 import pytest
 
+from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.harness.runner import run_workload
 from repro.sim.engine import NO_FASTPATH_ENV, fastpath_enabled
 from repro.workloads.micro import (counter, linked_list, ordered_put,
@@ -25,11 +26,15 @@ MICROS = {
 }
 
 
-def _run(build, *, commtm, seed, no_fastpath, monkeypatch):
+def _run(build, *, commtm, seed, no_fastpath, monkeypatch, sanitize=False):
     if no_fastpath:
         monkeypatch.setenv(NO_FASTPATH_ENV, "1")
     else:
         monkeypatch.delenv(NO_FASTPATH_ENV, raising=False)
+    if sanitize:
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+    else:
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
     return run_workload(build, 4, num_cores=16, commtm=commtm, seed=seed,
                         total_ops=240)
 
@@ -61,7 +66,22 @@ def test_fastpath_is_bit_identical(name, commtm, seed, monkeypatch):
     assert slow.stats.fastpath_hit_rate == 0.0
 
 
-def test_fastpath_env_parsing(monkeypatch):
+@pytest.mark.parametrize("no_fastpath", [False, True],
+                         ids=["fastpath", "no-fastpath"])
+@pytest.mark.parametrize("name", sorted(MICROS))
+def test_sanitized_runs_are_clean_and_equivalent(name, no_fastpath,
+                                                 monkeypatch):
+    """REPRO_SANITIZE=1 finds no violation on any micro, on either path,
+    and observes without disturbing: the simulated statistics are
+    bit-identical to the unsanitized run."""
+    build = MICROS[name]
+    plain = _run(build, commtm=True, seed=1, no_fastpath=no_fastpath,
+                 monkeypatch=monkeypatch)
+    # A violation anywhere in the run raises SanitizerError and fails here.
+    checked = _run(build, commtm=True, seed=1, no_fastpath=no_fastpath,
+                   monkeypatch=monkeypatch, sanitize=True)
+    assert checked.cycles == plain.cycles
+    assert checked.stats.comparable() == plain.stats.comparable()
     for off in ("1", "true", "yes", " 1 "):
         monkeypatch.setenv(NO_FASTPATH_ENV, off)
         assert not fastpath_enabled()

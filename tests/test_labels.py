@@ -40,6 +40,39 @@ class TestLabelDefinition:
         assert label.is_identity_line([7] * WORDS_PER_LINE)
         assert not label.is_identity_line([7] * 7 + [0])
 
+    def test_is_identity_line_uses_label_predicate(self):
+        # Labels with several encodings of "empty" supply is_identity_word;
+        # the line-level test must route through it instead of comparing
+        # words to the declared identity value. Regression: gathers used to
+        # treat all-zero OPUT/TOPK lines (untouched memory) as carrying
+        # data, forwarding empty donations into needless reductions.
+        label = wordwise_label(
+            "X", identity=None, reduce_word=lambda a, b: a or b,
+            is_identity_word=lambda w: w is None or w == 0)
+        assert label.is_identity_line([None] * WORDS_PER_LINE)
+        assert label.is_identity_line([0] * WORDS_PER_LINE)
+        assert label.is_identity_line([None, 0] * (WORDS_PER_LINE // 2))
+        assert not label.is_identity_line([0] * (WORDS_PER_LINE - 1) + [(1, "v")])
+
+    def test_standard_labels_accept_zero_as_empty(self):
+        from repro.datatypes.topk import EMPTY, topk_label
+
+        # OPUT words are (key, value) tuples or None; untouched memory
+        # reads as 0 and must count as empty too.
+        oput = oput_label()
+        assert oput.is_identity_line([0] * WORDS_PER_LINE)
+        assert oput.is_identity_line([None] * WORDS_PER_LINE)
+        assert not oput.is_identity_line([(3, "v")] + [0] * (WORDS_PER_LINE - 1))
+
+        topk = topk_label(4)
+        assert topk.is_identity_line([0] * WORDS_PER_LINE)
+        assert topk.is_identity_line([EMPTY] * WORDS_PER_LINE)
+
+        # MIN/MAX identity is None; 0 is a real observed value there and
+        # must NOT be classified as empty.
+        assert not min_label().is_identity_line([0] * WORDS_PER_LINE)
+        assert not max_label().is_identity_line([0] * WORDS_PER_LINE)
+
     def test_supports_gather(self):
         plain = wordwise_label("X", 0, lambda a, b: a + b)
         withsplit = add_label()
