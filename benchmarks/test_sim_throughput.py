@@ -19,7 +19,10 @@ that engages the persistent worker pool at ``jobs=4``. Single runs also
 record ``fastpath_hit_rate`` (the fraction of memory accesses served by
 the coherence protocol's private-hit fast path) and ``fastpath_speedup``
 (wall-clock ratio against a ``REPRO_NO_FASTPATH=1`` run in the same
-process).
+process), plus the wall-clock cost of the opt-in instrumentation layers:
+``sanitize.slowdown`` (``REPRO_SANITIZE=1`` invariant sweeps) and
+``obs.slowdown`` (``REPRO_OBS=1`` structured observability) — both
+asserted to leave simulated stats bit-identical.
 
 Set ``REPRO_BENCH_SMOKE=1`` (CI's bench-smoke job) for a reduced config
 that exercises every code path in seconds without pretending to be a
@@ -36,6 +39,7 @@ from pathlib import Path
 from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.harness import ResultCache, make_spec, run_points
 from repro.harness.runner import run_workload
+from repro.obs import OBS_ENV
 from repro.sim.engine import NO_FASTPATH_ENV
 from repro.workloads.apps import kmeans
 from repro.workloads.micro import counter
@@ -98,12 +102,14 @@ def test_sim_throughput(tmp_path, monkeypatch):
         "single_run_ops_per_sec": {},
         "fastpath": {},
         "sanitize": {},
+        "obs": {},
         "sweep_seconds": {},
         "sweep16_seconds": {},
     }
 
     monkeypatch.delenv(NO_FASTPATH_ENV, raising=False)
     monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    monkeypatch.delenv(OBS_ENV, raising=False)
     for name, (build, params, reps) in SINGLE_RUNS.items():
         wall, result = _best_of(
             reps, lambda b=build, p=params: run_workload(b, 8, **p))
@@ -139,6 +145,20 @@ def test_sim_throughput(tmp_path, monkeypatch):
     report["sanitize"] = {
         "run": "counter_commtm",
         "slowdown": round(san_wall / wall, 2),
+    }
+
+    # One REPRO_OBS=1 point: what the structured observability layer
+    # (Perfetto trace + lifecycle records + hot-line metrics) costs.
+    # Observation forces the full protocol path, so its slowdown bounds
+    # below at 1/fastpath_speedup; simulated stats must be untouched.
+    monkeypatch.setenv(OBS_ENV, "1")
+    obs_wall, obs_result = _best_of(
+        1 if SMOKE else 2, lambda: run_workload(build, 8, **params))
+    monkeypatch.delenv(OBS_ENV)
+    assert obs_result.stats.comparable() == result.stats.comparable()
+    report["obs"] = {
+        "run": "counter_commtm",
+        "slowdown": round(obs_wall / wall, 2),
     }
 
     specs = _sweep_specs(SWEEP_THREADS, SWEEP_OPS)

@@ -128,6 +128,10 @@ class MemorySystem:
         #: sanitizing; see repro.analysis.sanitizer). None keeps every
         #: operation on its original path.
         self.sanitizer = None
+        #: Optional Observer (set by the Machine facade; see repro.obs).
+        #: When installed, the engine routes every memory operation through
+        #: the full handlers below, so these hooks see all protocol events.
+        self.obs = None
         self._in_handler = False
         #: Per-line end-of-service time at the home directory bank: a
         #: directory transaction reserves its line, so contended lines
@@ -313,6 +317,8 @@ class MemorySystem:
             if outcome is Resolution.NACK:
                 self.stats.nacks_sent += 1
                 nackers.add(victim)
+                if self.obs is not None:
+                    self.obs.nack(requester, victim, line_no, entry, trigger)
             else:
                 res.aborted_victims.append(victim)
         return nackers
@@ -452,19 +458,33 @@ class MemorySystem:
             self.sanitizer.check()
         return res
 
+    def _touch_metrics(self, addr: int, requester: Requester,
+                       label: Optional[Label] = None) -> None:
+        """Hot-line touch accounting for the obs layer. ``requester.now``
+        is None only for flush/verification accesses, which are not part
+        of the simulated run and must not skew the metrics."""
+        if requester.now is not None:
+            self.obs.touch(line_of(addr), label)
+
     def load(self, core: int, addr: int, requester: Requester) -> AccessResult:
         check_word_aligned(addr)
+        if self.obs is not None:
+            self._touch_metrics(addr, requester)
         return self._finish(requester, self._load(core, addr, requester))
 
     def store(self, core: int, addr: int, value: object,
               requester: Requester) -> AccessResult:
         check_word_aligned(addr)
+        if self.obs is not None:
+            self._touch_metrics(addr, requester)
         return self._finish(
             requester, self._store(core, addr, value, requester))
 
     def labeled_load(self, core: int, addr: int, label: Label,
                      requester: Requester) -> AccessResult:
         check_word_aligned(addr)
+        if self.obs is not None:
+            self._touch_metrics(addr, requester, label)
         return self._finish(
             requester,
             self._labeled_access(core, addr, label, requester,
@@ -473,6 +493,8 @@ class MemorySystem:
     def labeled_store(self, core: int, addr: int, label: Label,
                       value: object, requester: Requester) -> AccessResult:
         check_word_aligned(addr)
+        if self.obs is not None:
+            self._touch_metrics(addr, requester, label)
         return self._finish(
             requester,
             self._labeled_access(core, addr, label, requester,
@@ -481,6 +503,8 @@ class MemorySystem:
     def load_gather(self, core: int, addr: int, label: Label,
                     requester: Requester) -> AccessResult:
         check_word_aligned(addr)
+        if self.obs is not None:
+            self._touch_metrics(addr, requester, label)
         return self._finish(
             requester, self._gather(core, addr, label, requester))
 
@@ -501,6 +525,8 @@ class MemorySystem:
         check_word_aligned(addr)
         if not requester.speculative:
             raise ProtocolError("lazy_store outside a transaction")
+        if self.obs is not None:
+            self._touch_metrics(addr, requester)
         line_no = line_of(addr)
         cache = self.caches[core]
         entry = cache.lookup(line_no)
@@ -561,6 +587,8 @@ class MemorySystem:
             self.caches[victim].drop(line_no)
             self.directory.drop_sharer(ent, victim)
             self.stats.invalidations += 1
+        if self.obs is not None and victims:
+            self.obs.invalidated(line_no, len(victims))
         ent.sharers.discard(core)
         ent.owner = core
         ent.check()
@@ -743,6 +771,8 @@ class MemorySystem:
             self.caches[victim].drop(line_no)
             self.directory.drop_sharer(ent, victim)
             self.stats.invalidations += 1
+        if self.obs is not None and victims:
+            self.obs.invalidated(line_no, len(victims))
 
         if entry is not None and entry.state is State.S:
             # Upgrade in place.
@@ -886,6 +916,8 @@ class MemorySystem:
                 self.caches[victim].drop(line_no)
                 self.directory.drop_sharer(ent, victim)
                 self.stats.invalidations += 1
+            if self.obs is not None and victims:
+                self.obs.invalidated(line_no, len(victims))
             if entry is not None and entry.state is State.S:
                 cache.drop(line_no)
                 self.directory.drop_sharer(ent, core)
@@ -1013,6 +1045,8 @@ class MemorySystem:
         cache = self.caches[core]
         own = cache.lookup(line_no)
         hctx = self.handler_context(core, res)
+        cycles_before = res.cycles
+        lines_before = self.stats.reduction_lines
 
         sharers = sorted(ent.u_sharers - {core})
         spec_victims = [
@@ -1063,6 +1097,15 @@ class MemorySystem:
         finally:
             self._in_handler = False
         res.cycles += max_forward
+        if self.obs is not None:
+            # Forwarded lines were also invalidated at their sharers
+            # (NACKers kept theirs and are excluded from both counts).
+            self.obs.reduction(core, line_no, label,
+                               forwarded=self.stats.reduction_lines
+                               - lines_before,
+                               nacked=len(nackers),
+                               latency=res.cycles - cycles_before,
+                               ts=requester.now)
 
         if merged is None:
             if nackers:
@@ -1165,10 +1208,12 @@ class MemorySystem:
             return res
 
         self.stats.gathers += 1
+        self.stats.gathers_by_label[label.name] += 1
         if self.tracer is not None and requester.now is not None:
             from ..sim.trace import EventKind
             self.tracer.record(requester.now, core, EventKind.GATHER,
                                detail=label.name)
+        cycles_before = res.cycles
         num_sharers = len(ent.u_sharers)
         nackers = self._resolve_victims(
             line_no,
@@ -1225,6 +1270,11 @@ class MemorySystem:
         # Merge donations into the requester's line non-speculatively: they
         # must survive an abort of the requester's transaction.
         self._merge_nonspec(core, entry, label, donations, hctx, res)
+        if self.obs is not None:
+            self.obs.gather(core, line_no, label, sharers=len(others),
+                            donations=len(donations), nacked=len(nackers),
+                            latency=res.cycles - cycles_before,
+                            ts=requester.now)
 
         if nackers:
             res.abort_requester = True

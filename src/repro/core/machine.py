@@ -60,7 +60,8 @@ class Machine:
 
     def __init__(self, config: Optional[SystemConfig] = None,
                  virtualize_labels: bool = False,
-                 sanitize: Optional[bool] = None):
+                 sanitize: Optional[bool] = None,
+                 observe: Optional[bool] = None):
         self.config = config if config is not None else SystemConfig()
         self.stats = Stats(num_cores=self.config.num_cores)
         from ..sim.trace import Tracer
@@ -87,6 +88,16 @@ class Machine:
         self.msys.attach_conflict_manager(self.conflicts)
         self.htm = HtmRuntime(self.config.num_cores, self.conflicts,
                               self.msys.caches, self.stats)
+        # Opt-in structured observability (repro.obs). Like ``sanitize``,
+        # ``observe`` is deliberately not a SystemConfig field: it cannot
+        # change simulated results, so it must not perturb the result
+        # cache's config fingerprints. None defers to REPRO_OBS.
+        from ..obs import Observer, obs_enabled
+        self.obs: Optional[Observer] = None
+        if observe if observe is not None else obs_enabled():
+            self.obs = Observer(self)
+            self.msys.obs = self.obs
+            self.conflicts.obs = self.obs
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -186,6 +197,9 @@ class Machine:
         self._ran = True
         engine = Engine(self, bodies)
         engine.run()
+        if self.obs is not None:
+            self.obs.recorder.close_open_spans()
+            self.stats.host_hot_lines = self.obs.hot_lines()
         return MachineResult(stats=self.stats, machine=self)
 
     def run_spmd(self, body: Callable, num_threads: int) -> MachineResult:

@@ -7,6 +7,9 @@ result cache makes re-renders nearly free (see ``repro.harness.parallel``
 and ``repro.harness.cache``).
 """
 
+from .artifacts import (ResultSink, install_sink, clear_sink, notify,
+                        write_metrics, write_outputs, write_report,
+                        write_trace)
 from .cache import ResultCache, default_cache_dir, fingerprint
 from .confidence import CiResult, confidence_interval, run_until_confident
 from .parallel import (PointSpec, build_path, make_spec, resolve_build,
@@ -15,6 +18,14 @@ from .runner import (ExperimentResult, collect_points, run_built,
                      run_workload, speedup_curve)
 
 __all__ = [
+    "ResultSink",
+    "install_sink",
+    "clear_sink",
+    "notify",
+    "write_metrics",
+    "write_outputs",
+    "write_report",
+    "write_trace",
     "CiResult",
     "confidence_interval",
     "run_until_confident",

@@ -8,6 +8,8 @@ Usage::
     python -m repro.harness fig09 --jobs 4          # parallel sweep
     python -m repro.harness fig09 --no-cache        # force re-simulation
     python -m repro.harness fig09 --profile         # where does time go?
+    python -m repro.harness fig09 --trace-out t.json \\
+        --report-json r.json --metrics-out m.json   # structured artifacts
 
 Sweeps fan out over ``--jobs`` worker processes (default: ``REPRO_JOBS``,
 else the machine's CPU count) and reuse previously simulated points from
@@ -19,6 +21,11 @@ than it saves); ``--profile`` runs the experiment under :mod:`cProfile`
 and prints the top 25 functions by cumulative time to stderr
 (``--profile-out FILE`` additionally dumps the raw stats for ``pstats``/
 ``snakeviz``).
+
+``--trace-out``/``--report-json``/``--metrics-out`` export structured
+observability artifacts (Perfetto trace, versioned run report with
+address-level abort attribution, hot-line metrics — see :mod:`repro.obs`);
+any of them implies ``REPRO_OBS=1`` and ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import os
 import sys
 
 from ..errors import SimulationError
+from . import artifacts
 from .cache import ResultCache
 from .experiments import list_experiments, run_experiment
 from .parallel import SERIAL_THRESHOLD_ENV, resolve_jobs
@@ -61,6 +69,19 @@ def main(argv=None) -> int:
                         help="result-cache directory "
                              "(default: $REPRO_CACHE_DIR, else "
                              "~/.cache/repro-commtm)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome/Perfetto trace-event JSON of "
+                             "every simulated point (open in "
+                             "ui.perfetto.dev). Implies REPRO_OBS=1 and "
+                             "--no-cache")
+    parser.add_argument("--report-json", metavar="FILE", default=None,
+                        help="write a machine-readable run report "
+                             "(per-point stats, per-label table, abort "
+                             "attribution). Implies REPRO_OBS=1 and "
+                             "--no-cache")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write per-line/per-label hot-line metrics "
+                             "JSON. Implies REPRO_OBS=1 and --no-cache")
     parser.add_argument("--sanitize", action="store_true",
                         help="check MESI+U coherence invariants after "
                              "every memory operation (slow; equivalent "
@@ -94,6 +115,18 @@ def main(argv=None) -> int:
 
         os.environ[SANITIZE_ENV] = "1"
         args.no_cache = True
+
+    sink = None
+    obs_requested = bool(args.trace_out or args.report_json
+                         or args.metrics_out)
+    if obs_requested:
+        # Same propagation as --sanitize: the env var reaches sweep
+        # workers, and cached results carry no obs payload, so skip them.
+        from ..obs import OBS_ENV
+
+        os.environ[OBS_ENV] = "1"
+        args.no_cache = True
+        sink = artifacts.install_sink()
 
     threads = [int(x) for x in args.threads.split(",") if x]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -131,6 +164,16 @@ def main(argv=None) -> int:
                 print(f"[profile] raw stats written to {args.profile_out}",
                       file=sys.stderr)
     print(report)
+    if sink is not None:
+        try:
+            written = artifacts.write_outputs(
+                args.experiment, sink.results, trace_out=args.trace_out,
+                report_json=args.report_json, metrics_out=args.metrics_out,
+                threads=threads, scale=args.scale)
+            for path in written:
+                print(f"[obs] wrote {path}", file=sys.stderr)
+        finally:
+            artifacts.clear_sink()
     if cache is not None:
         print(f"[cache] {cache.hits} hit(s), {cache.misses} miss(es) "
               f"in {cache.directory}", file=sys.stderr)

@@ -327,7 +327,12 @@ def run_points(specs: Sequence[PointSpec], *, jobs: Optional[int] = None,
             if cache is not None:
                 cache.put(spec, result)
 
-    return [results[key] for key in positions]
+    ordered = [results[key] for key in positions]
+    # Offer every produced/loaded result to the artifact sink (a no-op
+    # unless the CLI armed one for --trace-out/--report-json/--metrics-out).
+    from . import artifacts
+    artifacts.notify(ordered)
+    return ordered
 
 
 __all__ = [

@@ -23,6 +23,7 @@ from ..core.machine import Machine, MachineResult
 from ..errors import SimulationError
 from ..params import SystemConfig
 from ..sim.stats import Stats
+from . import artifacts
 from .parallel import make_spec, run_points
 
 
@@ -63,13 +64,18 @@ def run_built(machine: Machine, built, verify: bool = True) -> ExperimentResult:
     result: MachineResult = machine.run(built.bodies)
     if verify and built.verify is not None:
         built.verify(machine)
+    info = dict(built.info)
+    if machine.obs is not None:
+        # Plain-dict snapshot: it must survive pickling through the sweep
+        # worker pool back to the parent (see harness.artifacts).
+        info["obs"] = machine.obs.payload()
     return ExperimentResult(
         name=built.name,
         num_threads=len(built.bodies),
         commtm=machine.config.commtm_enabled,
         cycles=result.cycles,
         stats=machine.stats,
-        info=dict(built.info),
+        info=info,
     )
 
 
@@ -105,6 +111,7 @@ def _run_calls(build: Callable, calls: List[dict], jobs, cache,
             if key not in memo:
                 memo[key] = run_workload(build, **call)
             results.append(memo[key])
+        artifacts.notify(results)
         return results
     return run_points(specs, jobs=jobs, cache=cache,
                       serial_threshold=serial_threshold)

@@ -59,6 +59,8 @@ class ConflictManager(ConflictManagerBase):
         self.stats = stats
         self.policy = policy
         self.active: List[Optional[Transaction]] = [None] * len(caches)
+        #: Optional Observer (set by the Machine facade; see repro.obs).
+        self.obs = None
 
     # --- transaction registry (maintained by HtmRuntime) -------------------
 
@@ -84,7 +86,13 @@ class ConflictManager(ConflictManagerBase):
             or requester.ts < tx.ts
         )
         if must_abort:
-            self.abort(victim_core, victim_cause(trigger, victim_entry))
+            cause = victim_cause(trigger, victim_entry)
+            if self.obs is not None:
+                # Stage the attacker/line/label before the rollback below
+                # wipes the victim's speculative state.
+                self.obs.conflict(victim_core, line_no, requester, trigger,
+                                  victim_entry, cause)
+            self.abort(victim_core, cause)
             return Resolution.ABORT_VICTIM
         return Resolution.NACK
 
@@ -107,6 +115,9 @@ class ConflictManager(ConflictManagerBase):
             raise ProtocolError(f"abort on core {core} with no tx")
         if tx.aborted:
             return
+        if self.obs is not None:
+            # Speculative set sizes must be read before rollback clears them.
+            self.obs.tx_rollback(core, tx, cause)
         self.caches[core].rollback_all()
         self.stats.reclassify_aborted(core, tx.cycles_this_attempt, cause)
         self.stats.aborts += 1

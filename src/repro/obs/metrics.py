@@ -1,0 +1,99 @@
+"""Per-line / per-label hot-line metrics registry.
+
+Knowing *which* addresses are coalescing-hot is what justifies labeling
+them (CommUpdates makes the same argument for per-object attribution): a
+line with many touches, frequent reductions and a wide invalidation fan-out
+is exactly the line a commutative label pays off on. The registry counts,
+per line: protocol-level touches (split into labeled and unlabeled),
+reductions and gathers triggered at the line, invalidations and NACKs it
+caused, and the labels it was accessed under. ``top(k)`` surfaces the
+hottest lines, and the Machine publishes that via ``Stats.host_hot_lines``
+(a ``host_*`` field: simulator-side, excluded from equivalence
+comparisons).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(slots=True)
+class LineMetrics:
+    """Counters for one cache line."""
+
+    line: int
+    touches: int = 0          # protocol ops addressed to the line
+    labeled_touches: int = 0  # of which labeled (labeled ld/st, gathers)
+    reductions: int = 0       # reductions collapsing this line's U copies
+    gathers: int = 0          # gather requests issued on the line
+    invalidations: int = 0    # copies invalidated by requests to the line
+    nacks: int = 0            # NACKs sent over the line
+    by_label: Counter = field(default_factory=Counter)
+
+    def as_dict(self) -> dict:
+        return {
+            "line": self.line, "touches": self.touches,
+            "labeled_touches": self.labeled_touches,
+            "reductions": self.reductions, "gathers": self.gathers,
+            "invalidations": self.invalidations, "nacks": self.nacks,
+            "by_label": dict(sorted(self.by_label.items())),
+        }
+
+
+class MetricsRegistry:
+    """Hot-line counters for one machine, keyed by line number."""
+
+    def __init__(self):
+        self.lines: Dict[int, LineMetrics] = {}
+
+    def _line(self, line_no: int) -> LineMetrics:
+        m = self.lines.get(line_no)
+        if m is None:
+            m = self.lines[line_no] = LineMetrics(line=line_no)
+        return m
+
+    # --- recording -----------------------------------------------------------
+
+    def touch(self, line_no: int, label: Optional[str] = None) -> None:
+        m = self._line(line_no)
+        m.touches += 1
+        if label is not None:
+            m.labeled_touches += 1
+            m.by_label[label] += 1
+
+    def reduction(self, line_no: int, label: Optional[str],
+                  invalidated: int = 0) -> None:
+        m = self._line(line_no)
+        m.reductions += 1
+        m.invalidations += invalidated
+        if label is not None:
+            m.by_label[label] += 0  # ensure the label appears
+
+    def gather(self, line_no: int, label: Optional[str]) -> None:
+        self._line(line_no).gathers += 1
+
+    def invalidation(self, line_no: int, count: int = 1) -> None:
+        self._line(line_no).invalidations += count
+
+    def nack(self, line_no: int) -> None:
+        self._line(line_no).nacks += 1
+
+    # --- queries --------------------------------------------------------------
+
+    def top(self, k: int = 16) -> List[dict]:
+        """The ``k`` hottest lines (by touches, ties by line number)."""
+        ranked = sorted(self.lines.values(),
+                        key=lambda m: (-m.touches, m.line))
+        return [m.as_dict() for m in ranked[:k]]
+
+    def per_label(self) -> Dict[str, int]:
+        """Labeled touches per label name, across all lines."""
+        out: Counter = Counter()
+        for m in self.lines.values():
+            out.update(m.by_label)
+        return {name: out[name] for name in sorted(out)}
+
+
+__all__ = ["LineMetrics", "MetricsRegistry"]

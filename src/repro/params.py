@@ -158,6 +158,11 @@ class SystemConfig:
 
     #: Record per-core transaction/reduction/gather events for timeline
     #: rendering (``repro.sim.trace``). Off by default (memory cost).
+    #: The structured observability layer (``repro.obs``: Perfetto traces,
+    #: lifecycle records, hot-line metrics) is deliberately NOT a config
+    #: field — it cannot change simulated results, so enabling it must not
+    #: perturb the result cache's config fingerprints. Enable it with
+    #: ``Machine(..., observe=True)`` or ``REPRO_OBS=1`` instead.
     trace_enabled: bool = False
 
     def __post_init__(self) -> None:

@@ -61,6 +61,11 @@ def fastpath_enabled() -> bool:
         "", "0", "false")
 
 
+def _obs_noop(*args) -> None:
+    """Bound in place of the Observer's lifecycle hooks when obs is off."""
+    return None
+
+
 @dataclass(slots=True)
 class Frame:
     """One level of a thread's generator stack."""
@@ -127,7 +132,20 @@ class Engine:
         self._fast_store = self.msys.fast_store
         self._fast_labeled_load = self.msys.fast_labeled_load
         self._fast_labeled_store = self.msys.fast_labeled_store
-        if fastpath_enabled():
+        # Transaction-lifecycle hooks for the obs layer: bound no-ops when
+        # no Observer is installed (same discipline as tracer.record).
+        obs = getattr(machine, "obs", None)
+        self._obs = obs
+        self._obs_tx_begin = obs.tx_begin if obs is not None else _obs_noop
+        self._obs_tx_retry = obs.tx_retry if obs is not None else _obs_noop
+        self._obs_tx_commit = obs.tx_commit if obs is not None else _obs_noop
+        self._obs_tx_abort = obs.tx_abort if obs is not None else _obs_noop
+        # Observing forces the full handlers: fast private hits never reach
+        # MemorySystem's public ops where the protocol-level hooks live.
+        # This is the same switch REPRO_NO_FASTPATH flips, proven
+        # bit-identical by tests/test_fastpath_equivalence.py — so enabling
+        # observability cannot change simulated results.
+        if fastpath_enabled() and obs is None:
             self._handlers = {
                 Atomic: self._op_atomic,
                 Work: self._op_work,
@@ -252,6 +270,7 @@ class Engine:
         if self._tx_active[core] is None:
             tx = self.htm.begin(core, ts=op.ts)  # OrderedAtomic: order == priority
             self._trace(self._cycles[core], core, EventKind.TX_BEGIN)
+            self._obs_tx_begin(core, self._cycles[core], tx)
             # Inline _charge: a freshly begun transaction cannot be aborted.
             cycles = self._tx_begin_cycles
             self._breakdown[core].tx_committed += cycles
@@ -601,6 +620,9 @@ class Engine:
             # level; the commit latency is charged afterwards so it does not
             # extend the conflict window (mirrors hardware, where the
             # post-commit pipeline drain is not speculative).
+            # The obs hook must precede commit: it reads the speculative
+            # set sizes that commit_all() is about to clear.
+            self._obs_tx_commit(core, self._cycles[core], tx)
             self.htm.commit(core)
             self._trace(self._cycles[core], core, EventKind.TX_COMMIT)
             # Inline stats.charge(in_tx=True) + clocks.advance: the commit
@@ -639,12 +661,14 @@ class Engine:
         stall = backoff_cycles(self.machine.rng.backoff(), tx.attempts,
                                self.config.backoff_base,
                                self.config.backoff_max)
+        self._obs_tx_abort(core, self._cycles[core], tx, stall)
         # Backoff stall is abort-induced: account it as wasted.
         self._breakdown[core].tx_aborted += stall
         self.stats.wasted_by_cause[tx.abort_cause] += stall
         self.clocks.advance(core, stall)
 
         self.htm.begin_retry(core, tx)
+        self._obs_tx_retry(core, self._cycles[core], tx)
         self._charge(core, self.config.tx_begin_cycles)
         runner.frames.append(
             Frame(gen=atomic.make_generator(runner.ctx), atomic=atomic,

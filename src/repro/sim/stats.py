@@ -87,6 +87,8 @@ class Stats:
     labeled_by_label: Counter = field(default_factory=Counter)
     #: Reductions per label name.
     reductions_by_label: Counter = field(default_factory=Counter)
+    #: Gather requests per label name.
+    gathers_by_label: Counter = field(default_factory=Counter)
 
     # --- host-side instrumentation ------------------------------------------
     # ``host_*`` fields describe the *simulator*, not the simulated machine:
@@ -99,6 +101,9 @@ class Stats:
     host_fastpath_hits: int = 0
     #: Memory operations that took the full protocol path.
     host_fastpath_misses: int = 0
+    #: Top-K hottest lines from the obs layer's metrics registry (empty
+    #: unless the run observed; see :mod:`repro.obs`).
+    host_hot_lines: List[dict] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.num_cores and not self.breakdown:

@@ -5,6 +5,10 @@ transaction begins/commits/aborts, reductions, and gathers with their
 simulated cycle, and :func:`render_timeline` draws them as per-core lanes —
 the form of the paper's Fig. 1, recoverable for any workload
 (see ``examples/fig1_timeline.py``).
+
+For structured traces (typed spans with abort attribution, Perfetto
+export, counter tracks), see :mod:`repro.obs` — this flat tracer stays the
+lightweight in-process view.
 """
 
 from __future__ import annotations
@@ -37,18 +41,26 @@ class Tracer:
     When disabled, ``record`` is rebound to a no-op at construction so the
     engine's hot loop pays one short-circuited call instead of attribute
     tests per event.
+
+    The event list is bounded by ``limit``; events past it are *counted*
+    in :attr:`dropped` (and reported by :meth:`counts` and
+    :func:`render_timeline`) rather than silently discarded.
     """
 
     def __init__(self, enabled: bool = False, limit: int = 100_000):
         self.enabled = enabled
         self.limit = limit
         self.events: List[TraceEvent] = []
+        self.dropped = 0
         if not enabled:
             self.record = self._record_disabled
 
     def record(self, cycle: int, core: int, kind: EventKind,
                detail: str = "") -> None:
-        if not self.enabled or len(self.events) >= self.limit:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.limit:
+            self.dropped += 1
             return
         self.events.append(TraceEvent(cycle, core, kind, detail))
 
@@ -63,6 +75,7 @@ class Tracer:
         out = {}
         for e in self.events:
             out[e.kind] = out.get(e.kind, 0) + 1
+        out["dropped"] = self.dropped
         return out
 
 
@@ -72,7 +85,9 @@ def render_timeline(tracer: Tracer, cores: Optional[List[int]] = None,
 
     ``(`` tx begin, ``C`` commit, ``x`` abort, ``R`` reduction,
     ``G`` gather, ``|`` barrier. Events sharing a column keep the
-    most severe one (abort > commit > begin).
+    most severe one (abort > commit > begin); each lane is annotated with
+    its per-kind totals so collisions never under-report, and a warning
+    line appears when the tracer hit its event limit.
     """
     events = tracer.events
     if not events:
@@ -98,15 +113,23 @@ def render_timeline(tracer: Tracer, cores: Optional[List[int]] = None,
     for core in cores:
         lane = [" "] * width
         best = [-1] * width
+        totals: dict = {}
         for e in events:
             if e.core != core:
                 continue
+            totals[e.kind] = totals.get(e.kind, 0) + 1
             col = min(width - 1, int((e.cycle - t_min) * (width - 1) / span))
             if severity[e.kind] > best[col]:
                 best[col] = severity[e.kind]
                 lane[col] = e.kind.value
-        lines.append(f"core {core:>3} |" + "".join(lane) + "|")
+        annot = " ".join(f"{kind.value}:{totals[kind]}"
+                         for kind in severity if kind in totals)
+        lines.append(f"core {core:>3} |" + "".join(lane) + "|  " + annot)
     lines.append(f"{'':>9}{t_min} .. {t_max} cycles")
     lines.append("legend: ( begin   C commit   x abort   R reduction   "
-                 "G gather   | barrier")
+                 "G gather   | barrier   (lane totals follow each lane)")
+    if tracer.dropped:
+        lines.append(f"warning: {tracer.dropped} event(s) dropped at the "
+                     f"{tracer.limit}-event limit; lane totals cover "
+                     f"recorded events only")
     return "\n".join(lines)

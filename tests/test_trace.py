@@ -143,4 +143,47 @@ class TestRenderTimeline:
         tracer.record(0, 0, EventKind.TX_ABORT)  # same column
         out = render_timeline(tracer, width=10)
         lane = next(l for l in out.splitlines() if l.startswith("core"))
-        assert "x" in lane and "(" not in lane
+        body = lane.split("|")[1]
+        assert "x" in body and "(" not in body
+
+    def test_lane_totals_count_shadowed_events(self):
+        # The begin shares a column with (and loses to) the abort; the
+        # lane annotation must still report it.
+        tracer = Tracer(enabled=True)
+        tracer.record(0, 0, EventKind.TX_BEGIN)
+        tracer.record(0, 0, EventKind.TX_ABORT)
+        out = render_timeline(tracer, width=10)
+        lane = next(l for l in out.splitlines() if l.startswith("core"))
+        annot = lane.split("|")[2]
+        assert "(:1" in annot and "x:1" in annot
+
+    def test_dropped_events_warned_in_timeline(self):
+        tracer = Tracer(enabled=True, limit=2)
+        for i in range(5):
+            tracer.record(i, 0, EventKind.TX_BEGIN)
+        out = render_timeline(tracer)
+        assert "warning: 3 event(s) dropped" in out
+
+
+class TestDroppedCounting:
+    def test_dropped_counted_at_limit(self):
+        tracer = Tracer(enabled=True, limit=2)
+        for i in range(5):
+            tracer.record(i, 0, EventKind.TX_BEGIN)
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+        counts = tracer.counts()
+        assert counts["dropped"] == 3
+        assert counts[EventKind.TX_BEGIN] == 2
+
+    def test_no_drops_reports_zero(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0, 0, EventKind.TX_BEGIN)
+        assert tracer.counts()["dropped"] == 0
+        assert "warning" not in render_timeline(tracer)
+
+    def test_disabled_tracer_drops_nothing(self):
+        tracer = Tracer(enabled=False, limit=1)
+        for i in range(3):
+            tracer.record(i, 0, EventKind.TX_BEGIN)
+        assert tracer.dropped == 0
