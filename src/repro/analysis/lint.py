@@ -26,6 +26,19 @@ enforces the discipline statically on the ``yield``-based workload DSL:
   used in labeled operations without ever flowing through
   ``register_label``/``register`` — its ``label_id`` would still be None.
 
+Ops are recognized in both spellings: direct constructors
+(``yield Load(a)``) and the zero-allocation shuttle API
+(``yield ctx.load(a)``) — the lint maps ``ctx.<method>`` calls onto the
+same op kinds, so ported workloads keep full label-discipline coverage.
+The shuttle API adds one obligation of its own:
+
+* **shuttle-held** (error): the result of a ``ctx`` shuttle call
+  (``ctx.load``/``ctx.store``/``ctx.labeled_load``/``ctx.labeled_store``/
+  ``ctx.load_gather``/``ctx.work``) used anywhere other than directly in
+  a ``yield`` expression. Shuttles are single mutable instances reused
+  per thread context (consume-before-resume contract); holding one across
+  a later shuttle call silently aliases the mutated op.
+
 A finding can be suppressed by putting ``# commtm: allow-mixed`` on the
 offending line. :func:`check_registry` is the companion runtime check for
 Sec. III-D virtualization aliasing: two labels sharing one hardware id is
@@ -46,6 +59,17 @@ UNLABELED_LOAD = "Load"
 UNLABELED_STORE = "Store"
 LABELED_OPS = ("LabeledLoad", "LabeledStore", "LoadGather")
 GATHER_OP = "LoadGather"
+
+#: ThreadCtx shuttle methods → the op kind they yield. ``ctx.work`` is
+#: tracked only by the shuttle-held check (it carries no address/label).
+SHUTTLE_OPS = {
+    "load": UNLABELED_LOAD,
+    "store": UNLABELED_STORE,
+    "labeled_load": "LabeledLoad",
+    "labeled_store": "LabeledStore",
+    "load_gather": GATHER_OP,
+}
+SHUTTLE_RECEIVER = "ctx"
 
 #: Built-in label factories → whether the label they build has a splitter.
 FACTORY_HAS_SPLITTER = {
@@ -78,6 +102,28 @@ def _call_name(node: ast.expr) -> Optional[str]:
             return func.id
         if isinstance(func, ast.Attribute):
             return func.attr
+    return None
+
+
+def _is_shuttle_call(call: ast.Call) -> Optional[str]:
+    """The shuttle method name if this is a ``ctx.<shuttle>(...)`` call."""
+    func = call.func
+    if isinstance(func, ast.Attribute) \
+            and isinstance(func.value, ast.Name) \
+            and func.value.id == SHUTTLE_RECEIVER \
+            and (func.attr in SHUTTLE_OPS or func.attr == "work"):
+        return func.attr
+    return None
+
+
+def _op_kind(call: ast.Call) -> Optional[str]:
+    """Op kind of a yielded call: constructor name or shuttle mapping."""
+    shuttle = _is_shuttle_call(call)
+    if shuttle is not None:
+        return SHUTTLE_OPS.get(shuttle)  # ctx.work -> None (no address)
+    name = _call_name(call)
+    if name in (UNLABELED_LOAD, UNLABELED_STORE) + LABELED_OPS:
+        return name
     return None
 
 
@@ -244,14 +290,32 @@ def check_source(source: str, filename: str = "<string>") -> List[Finding]:
                     registered.add(arg.id)
 
     for func, class_name in _iter_functions(tree):
+        # Shuttle-held: a ctx shuttle call anywhere but directly under a
+        # ``yield``. The instance is reused and mutated by the next
+        # shuttle call, so holding it breaks consume-before-resume.
+        yielded_calls = {id(n.value) for n in ast.walk(func)
+                         if isinstance(n, ast.Yield) and n.value is not None}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                shuttle = _is_shuttle_call(node)
+                if shuttle is not None and id(node) not in yielded_calls \
+                        and not suppressed(node.lineno):
+                    findings.append(Finding(
+                        pass_name="lint", check="shuttle-held",
+                        severity=ERROR, file=filename, line=node.lineno,
+                        message=f"ctx.{shuttle}(...) result is not yielded "
+                                f"immediately in {func.name}(); shuttle ops "
+                                f"are reused per-context and must be "
+                                f"consumed before the next shuttle call"))
+
         per_addr: Dict[str, List[_Access]] = {}
         for node in ast.walk(func):
             if not (isinstance(node, ast.Yield)
                     and isinstance(node.value, ast.Call)):
                 continue
             call = node.value
-            op = _call_name(call)
-            if op not in (UNLABELED_LOAD, UNLABELED_STORE) + LABELED_OPS:
+            op = _op_kind(call)
+            if op is None:
                 continue
             if not call.args:
                 continue

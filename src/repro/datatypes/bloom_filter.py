@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from ..core.labels import Label, wordwise_label
 from ..params import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
-from ..runtime.ops import LabeledLoad, LabeledStore, Load
 
 BITS_PER_WORD = 64
 
@@ -61,15 +60,15 @@ class BloomFilter:
     def insert(self, ctx, key):
         """Set the key's bits (commutative OR updates)."""
         for addr, mask in self._probes(key):
-            value = yield LabeledLoad(addr, self.label)
+            value = yield ctx.labeled_load(addr, self.label)
             if not value & mask:
-                yield LabeledStore(addr, self.label, value | mask)
+                yield ctx.labeled_store(addr, self.label, value | mask)
 
     def contains(self, ctx, key):
         """Membership test (conventional reads; reduces OR partials).
         May return a false positive, never a false negative."""
         for addr, mask in self._probes(key):
-            value = yield Load(addr)
+            value = yield ctx.load(addr)
             if not value & mask:
                 return False
         return True

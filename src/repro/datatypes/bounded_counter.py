@@ -20,7 +20,6 @@ counter of resizable data structures (genome/vacation, Table II).
 from __future__ import annotations
 
 from ..core.labels import Label, add_label
-from ..runtime.ops import LabeledLoad, LabeledStore, Load, LoadGather
 
 
 class BoundedCounter:
@@ -43,8 +42,8 @@ class BoundedCounter:
 
     def increment(self, ctx, delta: int = 1):
         """Always-commutative increment."""
-        value = yield LabeledLoad(self.addr, self.label)
-        yield LabeledStore(self.addr, self.label, value + delta)
+        value = yield ctx.labeled_load(self.addr, self.label)
+        yield ctx.labeled_store(self.addr, self.label, value + delta)
         return True
 
     def decrement(self, ctx):
@@ -53,19 +52,19 @@ class BoundedCounter:
         Mirrors the paper's two-stage (or three-stage, with gathers)
         decrement: local check, then gather, then full reduction.
         """
-        value = yield LabeledLoad(self.addr, self.label)
+        value = yield ctx.labeled_load(self.addr, self.label)
         if value == 0 and self.use_gather:
-            value = yield LoadGather(self.addr, self.label)
+            value = yield ctx.load_gather(self.addr, self.label)
         if value == 0:
             # Trigger a full reduction to observe the true value.
-            value = yield Load(self.addr)
+            value = yield ctx.load(self.addr)
             if value == 0:
                 return False
-        yield LabeledStore(self.addr, self.label, value - 1)
+        yield ctx.labeled_store(self.addr, self.label, value - 1)
         return True
 
     def read(self, ctx):
-        value = yield Load(self.addr)
+        value = yield ctx.load(self.addr)
         return value
 
 

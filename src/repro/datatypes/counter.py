@@ -7,7 +7,6 @@ the ADD label; a conventional read triggers an additive reduction.
 from __future__ import annotations
 
 from ..core.labels import Label, add_label
-from ..runtime.ops import LabeledLoad, LabeledStore, Load
 
 
 class SharedCounter:
@@ -30,12 +29,12 @@ class SharedCounter:
 
     def add(self, ctx, delta: int = 1):
         """Transactional commutative add (use inside/as an Atomic)."""
-        value = yield LabeledLoad(self.addr, self.label)
-        yield LabeledStore(self.addr, self.label, value + delta)
+        value = yield ctx.labeled_load(self.addr, self.label)
+        yield ctx.labeled_store(self.addr, self.label, value + delta)
 
     def read(self, ctx):
         """Non-commutative read: triggers a reduction."""
-        value = yield Load(self.addr)
+        value = yield ctx.load(self.addr)
         return value
 
 

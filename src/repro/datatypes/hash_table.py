@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from ..core.labels import Label
 from ..params import WORD_BYTES
-from ..runtime.ops import Load, Store, Work
 from .bounded_counter import BoundedCounter
 
 #: Free slots granted per bucket; the table resizes when load factor
@@ -71,20 +70,20 @@ class ResizableHashTable:
             ok = yield from self.remaining.decrement(ctx)
             if not ok:
                 raise RuntimeError("hash table still full after resize")
-        base, num_buckets, _capacity = yield Load(self.meta_addr)
+        base, num_buckets, _capacity = yield ctx.load(self.meta_addr)
         bucket = self._bucket_addr(base, num_buckets, key)
-        chain = yield Load(bucket)
+        chain = yield ctx.load(bucket)
         chain = chain if chain != 0 else ()
-        yield Work(1 + len(chain))  # chain walk
-        yield Store(bucket, chain + ((key, value),))
+        yield ctx.work(1 + len(chain))  # chain walk
+        yield ctx.store(bucket, chain + ((key, value),))
 
     def lookup(self, ctx, key):
         """Return the first value stored under ``key``, or None."""
-        base, num_buckets, _capacity = yield Load(self.meta_addr)
+        base, num_buckets, _capacity = yield ctx.load(self.meta_addr)
         bucket = self._bucket_addr(base, num_buckets, key)
-        chain = yield Load(bucket)
+        chain = yield ctx.load(bucket)
         chain = chain if chain != 0 else ()
-        yield Work(1 + len(chain))
+        yield ctx.work(1 + len(chain))
         for k, v in chain:
             if k == key:
                 return v
@@ -92,14 +91,14 @@ class ResizableHashTable:
 
     def remove(self, ctx, key):
         """Remove one entry under ``key``; returns True if found."""
-        base, num_buckets, _capacity = yield Load(self.meta_addr)
+        base, num_buckets, _capacity = yield ctx.load(self.meta_addr)
         bucket = self._bucket_addr(base, num_buckets, key)
-        chain = yield Load(bucket)
+        chain = yield ctx.load(bucket)
         chain = chain if chain != 0 else ()
-        yield Work(1 + len(chain))
+        yield ctx.work(1 + len(chain))
         for i, (k, _v) in enumerate(chain):
             if k == key:
-                yield Store(bucket, chain[:i] + chain[i + 1:])
+                yield ctx.store(bucket, chain[:i] + chain[i + 1:])
                 yield from self.remaining.increment(ctx)
                 return True
         return False
@@ -113,21 +112,21 @@ class ResizableHashTable:
         metadata, conflicting with all concurrent operations — which is why
         it must be rare, and why the remaining-space counter exists.
         """
-        base, num_buckets, capacity = yield Load(self.meta_addr)
+        base, num_buckets, capacity = yield ctx.load(self.meta_addr)
         new_num = num_buckets * 2
         new_base = self._alloc_buckets(new_num)
         for i in range(new_num):
-            yield Store(new_base + i * WORD_BYTES, ())
+            yield ctx.store(new_base + i * WORD_BYTES, ())
         for i in range(num_buckets):
-            chain = yield Load(base + i * WORD_BYTES)
+            chain = yield ctx.load(base + i * WORD_BYTES)
             chain = chain if chain != 0 else ()
             for k, v in chain:
                 dst = self._bucket_addr(new_base, new_num, k)
-                old = yield Load(dst)
+                old = yield ctx.load(dst)
                 old = old if old != 0 else ()
-                yield Store(dst, old + ((k, v),))
+                yield ctx.store(dst, old + ((k, v),))
         new_capacity = new_num * SLOTS_PER_BUCKET
-        yield Store(self.meta_addr, (new_base, new_num, new_capacity))
+        yield ctx.store(self.meta_addr, (new_base, new_num, new_capacity))
         # The new table has (new_capacity - capacity) additional free slots.
         yield from self.remaining.increment(ctx, new_capacity - capacity)
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from ..core.labels import Label, add_label
 from ..params import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
-from ..runtime.ops import LabeledLoad, LabeledStore, Load
 
 
 class Histogram:
@@ -42,11 +41,11 @@ class Histogram:
 
     def add(self, ctx, index: int, delta: int = 1):
         addr = self.bin_addr(index)
-        value = yield LabeledLoad(addr, self.label)
-        yield LabeledStore(addr, self.label, value + delta)
+        value = yield ctx.labeled_load(addr, self.label)
+        yield ctx.labeled_store(addr, self.label, value + delta)
 
     def read_bin(self, ctx, index: int):
-        value = yield Load(self.bin_addr(index))
+        value = yield ctx.load(self.bin_addr(index))
         return value
 
     # --- host-side helpers -----------------------------------------------------

@@ -21,7 +21,6 @@ from __future__ import annotations
 from ..core.labels import Label
 from ..errors import LabelError
 from ..params import WORD_BYTES
-from ..runtime.ops import LabeledLoad, LabeledStore, Load, LoadGather, Store
 
 EMPTY = 0  # identity descriptor
 
@@ -138,15 +137,15 @@ class ConcurrentLinkedList:
     def enqueue(self, ctx, value):
         """Append ``value`` to this thread's partial list."""
         node = ctx.thread_alloc_words(2)
-        yield Store(node, value)
-        yield Store(node + WORD_BYTES, 0)
-        desc = yield LabeledLoad(self.desc_addr, self.label)
+        yield ctx.store(node, value)
+        yield ctx.store(node + WORD_BYTES, 0)
+        desc = yield ctx.labeled_load(self.desc_addr, self.label)
         if desc == EMPTY:
-            yield LabeledStore(self.desc_addr, self.label, (node, node))
+            yield ctx.labeled_store(self.desc_addr, self.label, (node, node))
         else:
             head, tail = desc
-            yield Store(tail + WORD_BYTES, node)
-            yield LabeledStore(self.desc_addr, self.label, (head, node))
+            yield ctx.store(tail + WORD_BYTES, node)
+            yield ctx.labeled_store(self.desc_addr, self.label, (head, node))
 
     def dequeue(self, ctx):
         """Pop one element; returns ``None`` when the list is empty.
@@ -154,18 +153,18 @@ class ConcurrentLinkedList:
         An empty local partial list first gathers (a splitter donates its
         head element), then falls back to a full reduction.
         """
-        desc = yield LabeledLoad(self.desc_addr, self.label)
+        desc = yield ctx.labeled_load(self.desc_addr, self.label)
         if desc == EMPTY and self.use_gather:
-            desc = yield LoadGather(self.desc_addr, self.label)
+            desc = yield ctx.load_gather(self.desc_addr, self.label)
         if desc == EMPTY:
-            desc = yield Load(self.desc_addr)  # full reduction
+            desc = yield ctx.load(self.desc_addr)  # full reduction
             if desc == EMPTY:
                 return None
         head, tail = desc
-        value = yield Load(head)
-        nxt = yield Load(head + WORD_BYTES)
+        value = yield ctx.load(head)
+        nxt = yield ctx.load(head + WORD_BYTES)
         new_desc = EMPTY if nxt == 0 else (nxt, tail)
-        yield LabeledStore(self.desc_addr, self.label, new_desc)
+        yield ctx.labeled_store(self.desc_addr, self.label, new_desc)
         return value
 
     def drain(self, ctx):

@@ -4,7 +4,6 @@
 from __future__ import annotations
 
 from ..core.labels import Label, max_label, min_label
-from ..runtime.ops import LabeledLoad, LabeledStore, Load
 
 
 class SharedMin:
@@ -21,14 +20,14 @@ class SharedMin:
         machine.seed_word(self.addr, None)
 
     def update(self, ctx, value):
-        current = yield LabeledLoad(self.addr, self.label)
+        current = yield ctx.labeled_load(self.addr, self.label)
         if current is None or value < current:
-            yield LabeledStore(self.addr, self.label, value)
+            yield ctx.labeled_store(self.addr, self.label, value)
             return True
         return False
 
     def read(self, ctx):
-        value = yield Load(self.addr)
+        value = yield ctx.load(self.addr)
         return value
 
 
@@ -61,12 +60,12 @@ class SharedMax:
         machine.seed_word(self.addr, None)
 
     def update(self, ctx, value):
-        current = yield LabeledLoad(self.addr, self.label)
+        current = yield ctx.labeled_load(self.addr, self.label)
         if current is None or value > current:
-            yield LabeledStore(self.addr, self.label, value)
+            yield ctx.labeled_store(self.addr, self.label, value)
             return True
         return False
 
     def read(self, ctx):
-        value = yield Load(self.addr)
+        value = yield ctx.load(self.addr)
         return value

@@ -11,7 +11,6 @@ keeps the lower-keyed pair.
 from __future__ import annotations
 
 from ..core.labels import Label, oput_label
-from ..runtime.ops import LabeledLoad, LabeledStore, Load
 
 
 class OrderedPutCell:
@@ -29,15 +28,15 @@ class OrderedPutCell:
 
     def put(self, ctx, key, value):
         """Install (key, value) if ``key`` beats the current key."""
-        current = yield LabeledLoad(self.addr, self.label)
+        current = yield ctx.labeled_load(self.addr, self.label)
         if current is None or current == 0 or key < current[0]:
-            yield LabeledStore(self.addr, self.label, (key, value))
+            yield ctx.labeled_store(self.addr, self.label, (key, value))
             return True
         return False
 
     def read(self, ctx):
         """Non-commutative read of the winning pair (reduces)."""
-        pair = yield Load(self.addr)
+        pair = yield ctx.load(self.addr)
         return pair
 
 

@@ -18,7 +18,6 @@ paper hit thread-private data and cause no coherence traffic.
 from __future__ import annotations
 
 from ..core.labels import Label
-from ..runtime.ops import LabeledLoad, LabeledStore, Load, Work
 
 EMPTY = ()
 
@@ -63,24 +62,24 @@ class TopKSet:
 
     def insert(self, ctx, value):
         """Insert into this thread's local top-K heap."""
-        heap = yield LabeledLoad(self.addr, self.label)
+        heap = yield ctx.labeled_load(self.addr, self.label)
         if heap == 0:
             heap = EMPTY
         if len(heap) < self.k:
-            yield Work(self._log2k)  # heap push
+            yield ctx.work(self._log2k)  # heap push
             new_heap = _insert_sorted(heap, value)
-            yield LabeledStore(self.addr, self.label, new_heap)
+            yield ctx.labeled_store(self.addr, self.label, new_heap)
             return True
         if value > heap[0]:
-            yield Work(self._log2k)  # heap pop + push
+            yield ctx.work(self._log2k)  # heap pop + push
             new_heap = _insert_sorted(heap[1:], value)
-            yield LabeledStore(self.addr, self.label, new_heap)
+            yield ctx.labeled_store(self.addr, self.label, new_heap)
             return True
         return False
 
     def read(self, ctx):
         """Non-commutative read: merges all local heaps (Fig. 15)."""
-        heap = yield Load(self.addr)
+        heap = yield ctx.load(self.addr)
         return EMPTY if heap == 0 else heap
 
 

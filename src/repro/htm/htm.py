@@ -24,9 +24,13 @@ class HtmRuntime:
         self.caches = caches
         self.stats = stats
         self._next_ts = 0
+        # Direct alias of the conflict manager's active-transaction slots:
+        # begin/commit sit on the engine's per-transaction hot path, and
+        # the registry is a plain list either way.
+        self._active = conflicts.active
 
     def active(self, core: int) -> Optional[Transaction]:
-        return self.conflicts.active_tx(core)
+        return self._active[core]
 
     def begin(self, core: int, ts: Optional[int] = None) -> Transaction:
         """Start a fresh transaction on ``core``.
@@ -36,7 +40,7 @@ class HtmRuntime:
         the conflict priority. Explicit timestamps must be negative so they
         never collide with (and always win against) allocated ones.
         """
-        if self.conflicts.active_tx(core) is not None:
+        if self._active[core] is not None:
             raise TransactionError(
                 f"core {core} already has an active transaction"
             )
@@ -46,7 +50,7 @@ class HtmRuntime:
         elif ts >= 0:
             raise TransactionError("explicit timestamps must be negative")
         tx = Transaction(core=core, ts=ts)
-        self.conflicts.set_active(core, tx)
+        self._active[core] = tx
         return tx
 
     def begin_retry(self, core: int, tx: Transaction) -> Transaction:
@@ -58,7 +62,7 @@ class HtmRuntime:
         return tx
 
     def commit(self, core: int) -> None:
-        tx = self.conflicts.active_tx(core)
+        tx = self._active[core]
         if tx is None:
             raise TransactionError(f"commit on core {core} with no tx")
         if tx.aborted:
@@ -67,7 +71,7 @@ class HtmRuntime:
             )
         self.caches[core].commit_all()
         self.stats.commits += 1
-        self.conflicts.set_active(core, None)
+        self._active[core] = None
 
     def finish_abort(self, core: int) -> Transaction:
         """Acknowledge an abort: detach the transaction (already rolled back

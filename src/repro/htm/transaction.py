@@ -9,7 +9,7 @@ freedom argument of LogTM-style conflict resolution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Set
 
 from ..sim.stats import WastedCause
@@ -23,8 +23,9 @@ class Transaction:
     aborted: bool = False
     abort_cause: Optional[WastedCause] = None
     #: Lines written through lazy_store (lazy conflict detection only);
-    #: published at commit.
-    lazy_written: Set[int] = field(default_factory=set)
+    #: published at commit. Allocated on first write — eager-mode
+    #: transactions (the common case) never pay for the set.
+    lazy_written: Optional[Set[int]] = None
     #: Set when an unlabeled access hit the transaction's own speculatively-
     #: modified U-state data: on restart, labeled accesses execute as
     #: conventional ones (Sec. III-B4).
@@ -42,4 +43,5 @@ class Transaction:
         self.aborted = False
         self.abort_cause = None
         self.cycles_this_attempt = 0
-        self.lazy_written.clear()
+        if self.lazy_written:
+            self.lazy_written.clear()

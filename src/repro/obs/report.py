@@ -50,6 +50,19 @@ def point_report(result) -> dict:
         "wasted_by_cause": stats.wasted_breakdown(),
         "get_breakdown": stats.get_breakdown(),
         "per_label": per_label_table(stats),
+        # Host-simulator internals (excluded from Stats.comparable()):
+        # fastpath_hit_rate is None when no fast path was attempted, which
+        # the report spells "disabled" to keep the JSON self-describing.
+        "host": {
+            "fastpath_hit_rate": (
+                "disabled" if stats.fastpath_hit_rate is None
+                else round(stats.fastpath_hit_rate, 4)),
+            "fastpath_gated": stats.host_fastpath_gated,
+            "runahead_batches": stats.host_runahead_batches,
+            "runahead_ops_per_batch": (
+                None if stats.runahead_ops_per_batch is None
+                else round(stats.runahead_ops_per_batch, 3)),
+        },
     }
     obs = result.info.get("obs") if isinstance(result.info, dict) else None
     if obs is not None:

@@ -2,13 +2,16 @@
 per-thread context object."""
 
 from .ops import (
-    Load,
-    Store,
+    BARRIER,
+    Atomic,
+    Barrier,
     LabeledLoad,
     LabeledStore,
+    Load,
     LoadGather,
+    Store,
     Work,
-    Atomic,
+    work,
 )
 from .thread_api import ThreadCtx
 
@@ -19,6 +22,9 @@ __all__ = [
     "LabeledStore",
     "LoadGather",
     "Work",
+    "Barrier",
     "Atomic",
     "ThreadCtx",
+    "BARRIER",
+    "work",
 ]

@@ -19,55 +19,72 @@ drives ``fn``'s generator, and commits at its return. On abort the generator
 is discarded and re-created after randomized backoff — exactly the replay
 semantics of hardware restart. A nested ``Atomic`` is flattened into its
 parent (closed nesting via subsumption, as in the paper's baseline).
+
+Consume-before-resume contract
+------------------------------
+The engine fully consumes every yielded op — reads its fields, performs the
+access, charges cycles — *before* resuming the generator that yielded it.
+Nothing on the engine side retains a memory/``Work``/``Barrier`` op past the
+handler call (``Atomic`` is the one exception: it is held for abort replay).
+Workload code may therefore reuse op objects across yields instead of
+allocating a fresh one per operation: the :class:`~repro.runtime.ThreadCtx`
+shuttle methods (``ctx.load`` / ``ctx.store`` / labeled variants /
+``ctx.work``) mutate-and-return one cached instance per context, and
+:data:`BARRIER` / :func:`work` intern the payload-free ops. The flip side of
+the contract is that a yielded op must not be *held* by the workload either
+— yield the shuttle call directly, never store its result (the
+label-discipline lint flags held shuttles).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Dict, Tuple
 
 from ..core.labels import Label
 
 
 # The op classes are allocated once per simulated memory operation — the
-# hottest allocation site in the simulator — so they are slotted.
+# hottest allocation site in the simulator — so they are slotted, and they
+# are deliberately *not* frozen: the ThreadCtx shuttles mutate one cached
+# instance per op kind (see the consume-before-resume contract above).
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Load:
     addr: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Store:
     addr: int
     value: object
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class LabeledLoad:
     addr: int
     label: Label
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class LabeledStore:
     addr: int
     label: Label
     value: object
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class LoadGather:
     addr: int
     label: Label
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Work:
     cycles: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Barrier:
     """SPMD barrier: blocks until every live thread reaches one.
 
@@ -100,6 +117,29 @@ class Atomic:
 
 MEMORY_OPS = (Load, Store, LabeledLoad, LabeledStore, LoadGather)
 
+
+#: Interned barrier. ``Barrier`` carries no payload and the engine never
+#: retains one, so a single module-level instance serves every yield site.
+BARRIER = Barrier()
+
+#: ``Work`` ops keyed by cycle count. Workloads draw from a small set of
+#: think-time constants, so interning removes the per-op allocation without
+#: unbounded growth (the cache is capped; rare cycle counts still allocate).
+_WORK_CACHE: Dict[int, Work] = {}
+_WORK_CACHE_MAX = 1024
+
+
+def work(cycles: int) -> Work:
+    """Interned ``Work(cycles)`` — safe to share because the engine only
+    reads ``.cycles`` and never retains the op."""
+    op = _WORK_CACHE.get(cycles)
+    if op is None:
+        op = Work(cycles)
+        if len(_WORK_CACHE) < _WORK_CACHE_MAX:
+            _WORK_CACHE[cycles] = op
+    return op
+
+
 __all__ = [
     "Load",
     "Store",
@@ -110,4 +150,6 @@ __all__ = [
     "Barrier",
     "Atomic",
     "MEMORY_OPS",
+    "BARRIER",
+    "work",
 ]

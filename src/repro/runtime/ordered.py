@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from .ops import Atomic, Load, Store, Work
+from .ops import Atomic
 
 #: Base for order-derived timestamps: far below every allocated timestamp,
 #: so ordered transactions always win conflicts against unordered ones and
@@ -92,11 +92,11 @@ class OrderedRegion:
             # read set; a predecessor's advance conflicts us out (we are
             # younger by construction) and we replay.
             while True:
-                token = yield Load(self.token_addr)
+                token = yield ctx.load(self.token_addr)
                 if token == order:
                     break
-                yield Work(SPIN_CYCLES)
-            yield Store(self.token_addr, order + 1)
+                yield ctx.work(SPIN_CYCLES)
+            yield ctx.store(self.token_addr, order + 1)
             return result
 
         wrapped.__name__ = getattr(fn, "__name__", "iteration")

@@ -4,6 +4,15 @@ The engine is execution-driven: each core has a local cycle counter, and the
 scheduler always advances the core whose clock is smallest. This yields a
 deterministic fine-grained interleaving that approximates the paper's
 cycle-level simulation at memory-operation granularity.
+
+This class is the *single-step reference API*: one
+``next_core()`` / step / ``reschedule()`` transaction per simulated
+operation. The engine's default run-ahead scheduler operates on the same
+heap (``_heap`` / ``_done``) in quanta — popping a core once and stepping it
+until its clock passes the next stamp under the identical ``(stamp, core)``
+tie-break — and ``REPRO_NO_RUNAHEAD=1`` falls back to driving this API
+directly. The differential tests hold both to the same op-level
+interleaving.
 """
 
 from __future__ import annotations

@@ -18,6 +18,17 @@ the cycle breakdown) is bound to locals on the engine at construction so the
 per-op path does plain list indexing instead of chained attribute loads.
 All of this is pure host-side speed: simulated cycle counts are identical
 to the straightforward implementation.
+
+Scheduling runs in *run-ahead quanta*: after popping the minimum-clock core
+from the ready heap, the engine keeps stepping that same core in a tight
+inner loop until its clock passes the next heap stamp (same ``(stamp,
+core)`` lexicographic tie-break the heap would apply), and only then
+touches the heap again. One heap transaction per quantum instead of one per
+op, and the popped core can never hit the stale-entry requeue path. The
+interleaving is *identical* to one-pop-per-op scheduling — see
+``_run_runahead`` for the invariant argument — and ``REPRO_NO_RUNAHEAD=1``
+selects the stepped reference loop (``CoreClocks.next_core`` per op) for
+differential testing, mirroring ``REPRO_NO_FASTPATH``.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from ..errors import SimulationError, TransactionError
 from ..mem.address import line_of
 from ..htm.backoff import backoff_cycles
 from ..runtime.ops import (
+    MEMORY_OPS,
     Atomic,
     Barrier,
     LabeledLoad,
@@ -61,6 +73,32 @@ def fastpath_enabled() -> bool:
         "", "0", "false")
 
 
+#: Escape-hatch environment variable: any value other than ""/"0"/"false"
+#: replaces the run-ahead scheduler with the stepped reference loop (one
+#: ``CoreClocks.next_core()`` / step / ``reschedule()`` transaction per
+#: simulated operation). Same differential-testing role as
+#: REPRO_NO_FASTPATH; read per Engine.run so tests can flip it per run.
+NO_RUNAHEAD_ENV = "REPRO_NO_RUNAHEAD"
+
+
+def runahead_enabled() -> bool:
+    return os.environ.get(NO_RUNAHEAD_ENV, "").strip().lower() in (
+        "", "0", "false")
+
+
+#: Adaptive fast-path gate. Attempting the private-hit fast path costs a
+#: failed lookup before the full protocol path on every miss, so on
+#: workloads that mostly miss (heavily shared lines under the baseline HTM)
+#: it is a net host-side loss. Once this many memory operations have
+#: attempted the fast path, an Engine whose observed hit rate is below
+#: FASTPATH_GATE_MIN_HIT_RATE rebinds the memory-op handlers to the full
+#: path for the rest of the run. Host-only decision: the full handlers are
+#: bit-identical to the fast ones (tests/test_fastpath_equivalence.py), so
+#: simulated results cannot change — only wall-clock does.
+FASTPATH_GATE_WARMUP = 512
+FASTPATH_GATE_MIN_HIT_RATE = 0.5
+
+
 def _obs_noop(*args) -> None:
     """Bound in place of the Observer's lifecycle hooks when obs is off."""
     return None
@@ -82,6 +120,11 @@ class ThreadRunner:
     frames: List[Frame] = field(default_factory=list)
     pending_value: object = None
     blocked: bool = False  # waiting at a barrier
+    #: ``frames[-1].gen.send``, maintained at every frame push/pop: the
+    #: step loops call it once per simulated operation, and the cached
+    #: bound method replaces a four-hop attribute chain. None when the
+    #: thread has finished (frames empty).
+    send: object = None
 
 
 class Engine:
@@ -104,7 +147,9 @@ class Engine:
             if core < len(bodies):
                 ctx = ThreadCtx(core, machine)
                 runner = ThreadRunner(core=core, ctx=ctx)
-                runner.frames.append(Frame(gen=bodies[core](ctx)))
+                gen = bodies[core](ctx)
+                runner.frames.append(Frame(gen=gen))
+                runner.send = gen.send
                 self.runners.append(runner)
             else:
                 self.runners.append(None)
@@ -119,6 +164,7 @@ class Engine:
         self._cycles = self.clocks.cycles
         self._breakdown = self.stats.breakdown
         self._trace = machine.tracer.record
+        self._tracing = machine.tracer.enabled
         self._commtm = self.config.commtm_enabled
         self._eager = self.config.conflict_detection != "lazy"
         self._tx_begin_cycles = self.config.tx_begin_cycles
@@ -145,7 +191,13 @@ class Engine:
         # This is the same switch REPRO_NO_FASTPATH flips, proven
         # bit-identical by tests/test_fastpath_equivalence.py — so enabling
         # observability cannot change simulated results.
-        if fastpath_enabled() and obs is None:
+        # Whether memory ops currently attempt the fast path (drives the
+        # host_fastpath_misses attempt counter) and whether the adaptive
+        # gate still has a decision to make (one-shot, at the end of the
+        # warmup window).
+        self._fastpath_attempting = fastpath_enabled() and obs is None
+        self._gate_pending = self._fastpath_attempting
+        if self._fastpath_attempting:
             self._handlers = {
                 Atomic: self._op_atomic,
                 Work: self._op_work,
@@ -194,12 +246,33 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run(self) -> None:
-        # The scheduler (CoreClocks.next_core / reschedule) and the per-core
-        # step are inlined here: this loop executes once per simulated
-        # operation and the function-call framing was a measurable fraction
-        # of total runtime. The logic is identical to
-        # next_core() -> step -> reschedule(); CoreClocks keeps the
-        # single-step methods for direct use and tests.
+        if runahead_enabled():
+            self._run_runahead()
+        else:
+            self._run_stepped()
+        if not self.clocks.all_finished():
+            raise SimulationError("no runnable core but simulation not finished")
+        self.stats.parallel_cycles = self.clocks.max_cycle
+
+    def _run_runahead(self) -> None:
+        # Run-ahead (leapfrog) scheduler: pop the minimum core once, then
+        # keep stepping *that core* in a tight inner loop until its clock
+        # passes the next heap stamp. One heap transaction per quantum
+        # instead of one per op, and the running core never takes the
+        # stale-entry requeue path.
+        #
+        # Why the interleaving is bit-identical to one-pop-per-op: every
+        # unfinished, unblocked core other than the running one has exactly
+        # one heap entry at (a lower bound of) its current clock, so the
+        # one-pop loop would re-pop the running core immediately iff
+        # ``(cycles[core], core) <= heap[0]`` lexicographically. That is
+        # precisely the inner loop's continue condition. When ``heap[0]``
+        # is stale (its core was charged since being queued), the true
+        # stamp is *larger*, so breaking out is conservative: the outer
+        # loop re-pops, requeues the stale entry at its true time, and
+        # hands the quantum straight back. ``heap[0]`` is re-read every
+        # iteration because a step can push entries (barrier release
+        # reschedules the waiters).
         clocks = self.clocks
         heap = clocks._heap
         done = clocks._done
@@ -207,44 +280,116 @@ class Engine:
         runners = self.runners
         tx_active = self._tx_active
         handlers = self._handlers
-        heappush = heapq.heappush
         heappop = heapq.heappop
+        # push + pop-min in one sift: the quantum hand-off and the
+        # stale-entry requeue both replace a heappush/heappop pair.
+        heappushpop = heapq.heappushpop
         finished = _FINISHED
+        batches = 0
+        ops = 0
 
-        while heap:
-            stamp, core = heappop(heap)
+        if not heap:
+            self.stats.host_runahead_batches += batches
+            self.stats.host_runahead_ops += ops
+            return
+        stamp, core = heappop(heap)
+        while True:
             if done[core]:
+                if not heap:
+                    break
+                stamp, core = heappop(heap)
                 continue
-            if stamp < cycles[core]:
+            c = cycles[core]
+            if stamp < c:
                 # Stale entry (core was charged since being queued); requeue
                 # at its true time to preserve min-clock order.
-                heappush(heap, (cycles[core], core))
+                if heap:
+                    stamp, core = heappushpop(heap, (c, core))
+                else:
+                    stamp = c
                 continue
 
             runner = runners[core]
-            tx = tx_active[core]
-            if tx is not None and tx.aborted:
-                self._restart_tx(runner, tx)
-            else:
-                value = runner.pending_value
-                runner.pending_value = None
-                try:
-                    op = runner.frames[-1].gen.send(value)
-                except StopIteration as stop:
-                    self._finish_frame(runner, stop.value)
-                    op = finished
-                if op is not finished:
-                    handler = handlers.get(op.__class__)
-                    if handler is None:
-                        handler = self._resolve_handler(op)
-                    handler(runner, op)
+            batches += 1
+            while True:
+                ops += 1
+                tx = tx_active[core]
+                if tx is not None and tx.aborted:
+                    self._restart_tx(runner, tx)
+                else:
+                    value = runner.pending_value
+                    runner.pending_value = None
+                    try:
+                        op = runner.send(value)
+                    except StopIteration as stop:
+                        self._finish_frame(runner, stop.value)
+                        op = finished
+                    if op is not finished:
+                        try:
+                            handler = handlers[op.__class__]
+                        except KeyError:
+                            handler = self._resolve_handler(op)
+                        handler(runner, op)
 
-            if not runner.blocked and not done[core]:
-                heappush(heap, (cycles[core], core))
+                if runner.blocked or done[core]:
+                    break
+                c = cycles[core]
+                if heap:
+                    top = heap[0]
+                    if c > top[0] or (c == top[0] and core > top[1]):
+                        # Another core's turn (or a stale entry to clean
+                        # up): hand off, taking the new minimum in the
+                        # same heap transaction.
+                        stamp, core = heappushpop(heap, (c, core))
+                        break
 
-        if not clocks.all_finished():
-            raise SimulationError("no runnable core but simulation not finished")
-        self.stats.parallel_cycles = clocks.max_cycle
+            if runner.blocked or done[runner.core]:
+                # The core we were stepping left the ready set (barrier or
+                # finished) without handing off; pull the next one. (After
+                # a hand-off, ``core`` is already the freshly popped entry
+                # and the loop top vets it.)
+                if not heap:
+                    break
+                stamp, core = heappop(heap)
+
+        self.stats.host_runahead_batches += batches
+        self.stats.host_runahead_ops += ops
+
+    def _run_stepped(self) -> None:
+        # Reference scheduler (REPRO_NO_RUNAHEAD=1): one CoreClocks
+        # transaction — next_core() / step / reschedule() — per simulated
+        # operation. The differential tests hold this loop and
+        # _run_runahead to identical interleavings, cycle counts and stats.
+        clocks = self.clocks
+        runners = self.runners
+        while True:
+            core = clocks.next_core()
+            if core is None:
+                return
+            runner = runners[core]
+            self._step_core(runner)
+            if not runner.blocked and not clocks.is_finished(core):
+                clocks.reschedule(core)
+
+    def _step_core(self, runner: ThreadRunner) -> None:
+        """Advance one core by one simulated operation (or one abort
+        restart). Shared by the stepped loop; the run-ahead loop inlines
+        the same logic."""
+        tx = self._tx_active[runner.core]
+        if tx is not None and tx.aborted:
+            self._restart_tx(runner, tx)
+            return
+        value = runner.pending_value
+        runner.pending_value = None
+        try:
+            op = runner.send(value)
+        except StopIteration as stop:
+            self._finish_frame(runner, stop.value)
+            return
+        handler = self._handlers.get(op.__class__)
+        if handler is None:
+            handler = self._resolve_handler(op)
+        handler(runner, op)
 
     # ------------------------------------------------------------------
 
@@ -269,28 +414,43 @@ class Engine:
         core = runner.core
         if self._tx_active[core] is None:
             tx = self.htm.begin(core, ts=op.ts)  # OrderedAtomic: order == priority
-            self._trace(self._cycles[core], core, EventKind.TX_BEGIN)
-            self._obs_tx_begin(core, self._cycles[core], tx)
+            if self._tracing:
+                self._trace(self._cycles[core], core, EventKind.TX_BEGIN)
+            if self._obs is not None:
+                self._obs_tx_begin(core, self._cycles[core], tx)
             # Inline _charge: a freshly begun transaction cannot be aborted.
             cycles = self._tx_begin_cycles
             self._breakdown[core].tx_committed += cycles
             tx.cycles_this_attempt += cycles
             self._cycles[core] += cycles
-            runner.frames.append(
-                Frame(gen=op.make_generator(runner.ctx), atomic=op,
-                      is_tx_root=True)
-            )
+            # Inline op.make_generator (hot: once per transaction).
+            gen = op.fn(runner.ctx, *op.args)
+            runner.frames.append(Frame(gen, op, True))
         else:
             # Closed nesting by subsumption.
-            runner.frames.append(
-                Frame(gen=op.make_generator(runner.ctx), atomic=op)
-            )
+            gen = op.fn(runner.ctx, *op.args)
+            runner.frames.append(Frame(gen, op))
+        runner.send = gen.send
 
     def _op_work(self, runner: ThreadRunner, op) -> None:
-        if op.cycles < 0:
-            raise SimulationError(f"negative Work: {op.cycles}")
-        self.stats.instructions += op.cycles
-        self._charge(runner.core, op.cycles)
+        cycles = op.cycles
+        if cycles < 0:
+            raise SimulationError(f"negative Work: {cycles}")
+        # Inline _charge: Work is one of the hottest ops (every think step).
+        stats = self.stats
+        stats.instructions += cycles
+        core = runner.core
+        tx = self._tx_active[core]
+        entry = self._breakdown[core]
+        if tx is None:
+            entry.non_tx += cycles
+        elif tx.aborted:
+            entry.tx_aborted += cycles
+            stats.wasted_by_cause[tx.abort_cause] += cycles
+        else:
+            entry.tx_committed += cycles
+            tx.cycles_this_attempt += cycles
+        self._cycles[core] += cycles
 
     def _op_barrier(self, runner: ThreadRunner, op) -> None:
         self._barrier_arrive(runner)
@@ -562,7 +722,19 @@ class Engine:
         self._after_memory_op(runner, core, res)
 
     def _after_memory_op(self, runner: ThreadRunner, core: int, res) -> None:
-        self.stats.host_fastpath_misses += 1
+        stats = self.stats
+        if self._fastpath_attempting:
+            # Only a genuine fast-path attempt counts as a miss; with the
+            # fast path disabled or gated off there is no attempt, and
+            # Stats.fastpath_hit_rate reports None instead of 0.0.
+            stats.host_fastpath_misses += 1
+            if self._gate_pending:
+                attempts = stats.host_fastpath_hits + stats.host_fastpath_misses
+                if attempts >= FASTPATH_GATE_WARMUP:
+                    self._gate_pending = False
+                    if (stats.host_fastpath_hits
+                            < attempts * FASTPATH_GATE_MIN_HIT_RATE):
+                        self._disable_fastpath()
         self._charge(core, res.cycles)
 
         tx = self._tx_active[core]
@@ -578,6 +750,31 @@ class Engine:
             return  # aborted as a victim mid-operation (self-abort path)
         runner.pending_value = res.value
 
+    def _disable_fastpath(self) -> None:
+        """Adaptive gate: rebind the memory-op handlers to the full protocol
+        path for the rest of this run (the hit rate stayed below threshold
+        through the warmup window, so the failed fast-path probe is a net
+        host-side cost per op). The table is mutated in place — the run
+        loops hold a local alias — and memoized subclass entries are
+        dropped so they re-resolve through the MRO. Sanitized runs lose the
+        engine-level checkpoint wrappers here, but the full handlers go
+        through MemorySystem's public ops, which checkpoint on their own.
+        Host-only: simulated results are bit-identical either way."""
+        self._fastpath_attempting = False
+        self.stats.host_fastpath_gated = True
+        handlers = self._handlers
+        full = {
+            Load: self._op_load,
+            Store: self._op_store,
+            LabeledLoad: self._op_labeled_load,
+            LabeledStore: self._op_labeled_store,
+            LoadGather: self._op_load_gather,
+        }
+        for cls in [c for c in handlers
+                    if c not in full and issubclass(c, MEMORY_OPS)]:
+            del handlers[cls]
+        handlers.update(full)
+
     def _conventional_store(self, core: int, addr: int, value, requester,
                             tx):
         """Route a conventional store per the conflict-detection scheme:
@@ -586,6 +783,8 @@ class Engine:
         if tx is not None and self.config.conflict_detection == "lazy":
             res = self.msys.lazy_store(core, addr, value, requester)
             if not res.abort_requester:
+                if tx.lazy_written is None:
+                    tx.lazy_written = set()
                 tx.lazy_written.add(line_of(addr))
             return res
         return self.msys.store(core, addr, value, requester)
@@ -594,7 +793,9 @@ class Engine:
 
     def _finish_frame(self, runner: ThreadRunner, value) -> None:
         core = runner.core
-        frame = runner.frames.pop()
+        frames = runner.frames
+        frame = frames.pop()
+        runner.send = frames[-1].gen.send if frames else None
         if frame.is_tx_root:
             tx = self._tx_active[core]
             if tx is None:
@@ -603,7 +804,7 @@ class Engine:
                 )
             if tx.aborted:
                 # Aborted between its last operation and commit.
-                runner.frames.append(frame)
+                frames.append(frame)
                 self._restart_tx(runner, tx)
                 return
             if tx.lazy_written:
@@ -622,9 +823,11 @@ class Engine:
             # post-commit pipeline drain is not speculative).
             # The obs hook must precede commit: it reads the speculative
             # set sizes that commit_all() is about to clear.
-            self._obs_tx_commit(core, self._cycles[core], tx)
+            if self._obs is not None:
+                self._obs_tx_commit(core, self._cycles[core], tx)
             self.htm.commit(core)
-            self._trace(self._cycles[core], core, EventKind.TX_COMMIT)
+            if self._tracing:
+                self._trace(self._cycles[core], core, EventKind.TX_COMMIT)
             # Inline stats.charge(in_tx=True) + clocks.advance: the commit
             # latency lands in the committed bucket after the tx detaches.
             cycles = self._tx_commit_cycles
@@ -670,10 +873,9 @@ class Engine:
         self.htm.begin_retry(core, tx)
         self._obs_tx_retry(core, self._cycles[core], tx)
         self._charge(core, self.config.tx_begin_cycles)
-        runner.frames.append(
-            Frame(gen=atomic.make_generator(runner.ctx), atomic=atomic,
-                  is_tx_root=True)
-        )
+        gen = atomic.make_generator(runner.ctx)
+        runner.frames.append(Frame(gen=gen, atomic=atomic, is_tx_root=True))
+        runner.send = gen.send
         runner.pending_value = None
 
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ import dataclasses
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class WastedCause(enum.Enum):
@@ -99,8 +99,22 @@ class Stats:
     #: Memory operations serviced by the coherence protocol's private-hit
     #: fast path (see ``MemorySystem.fast_load`` and friends).
     host_fastpath_hits: int = 0
-    #: Memory operations that took the full protocol path.
+    #: Memory operations that *attempted* the fast path and fell through to
+    #: the full protocol path. Not counted when the fast path is disabled
+    #: (``REPRO_NO_FASTPATH``, obs mode) or adaptively gated off — so
+    #: ``hits + misses`` is the number of genuine attempts.
     host_fastpath_misses: int = 0
+    #: True when the engine's adaptive gate turned the fast path off
+    #: mid-run because the observed hit rate stayed below threshold after
+    #: the warmup window (host-only decision; simulated stats unchanged).
+    host_fastpath_gated: bool = False
+    #: Scheduling quanta executed by the run-ahead scheduler — each batch
+    #: is one heap transaction covering ``host_runahead_ops /
+    #: host_runahead_batches`` simulated steps on one core. Zero when
+    #: ``REPRO_NO_RUNAHEAD=1`` selects the stepped reference scheduler.
+    host_runahead_batches: int = 0
+    #: Simulated steps executed inside run-ahead batches.
+    host_runahead_ops: int = 0
     #: Top-K hottest lines from the obs layer's metrics registry (empty
     #: unless the run observed; see :mod:`repro.obs`).
     host_hot_lines: List[dict] = field(default_factory=list)
@@ -166,11 +180,22 @@ class Stats:
         return self.aborts / attempts if attempts else 0.0
 
     @property
-    def fastpath_hit_rate(self) -> float:
-        """Fraction of memory operations serviced by the private-hit fast
-        path (host-side instrumentation; 0.0 with the fast path disabled)."""
+    def fastpath_hit_rate(self) -> Optional[float]:
+        """Fraction of fast-path *attempts* serviced by the private-hit fast
+        path (host-side instrumentation). ``None`` when no attempt was made
+        — fast path disabled via ``REPRO_NO_FASTPATH``, forced off by the
+        obs layer, or the run was too short to attempt one — which is a
+        different situation from "enabled but never hit" (0.0)."""
         total = self.host_fastpath_hits + self.host_fastpath_misses
-        return self.host_fastpath_hits / total if total else 0.0
+        return self.host_fastpath_hits / total if total else None
+
+    @property
+    def runahead_ops_per_batch(self) -> Optional[float]:
+        """Mean simulated steps per run-ahead scheduling quantum; ``None``
+        under the stepped reference scheduler (``REPRO_NO_RUNAHEAD=1``)."""
+        if self.host_runahead_batches == 0:
+            return None
+        return self.host_runahead_ops / self.host_runahead_batches
 
     def comparable(self) -> Dict[str, object]:
         """Every *simulated* statistic as a plain dict, for equivalence

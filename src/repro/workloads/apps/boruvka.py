@@ -36,15 +36,7 @@ from __future__ import annotations
 
 from ...core.labels import add_label, max_label, min_label, oput_label
 from ...mem.address import WORD_BYTES
-from ...runtime.ops import (
-    Atomic,
-    Barrier,
-    LabeledLoad,
-    LabeledStore,
-    Load,
-    Store,
-    Work,
-)
+from ...runtime.ops import Atomic, BARRIER
 from ..inputs.graphs import Graph, road_network
 from ..micro.common import BuiltWorkload
 
@@ -118,33 +110,33 @@ class _Boruvka:
 
     # --- transactional pieces ----------------------------------------------
 
-    def _find(self, node: int):
+    def _find(self, ctx, node: int):
         """Chase hook pointers with conventional loads (reduces MIN lines).
         Generator sub-routine: use with ``yield from``."""
         cur = node
         for _ in range(MAX_FIND_DEPTH):
-            parent = yield Load(self._hook(cur))
+            parent = yield ctx.load(self._hook(cur))
             if parent is None or parent == cur:
                 return cur
             cur = parent
         raise AssertionError("hook chain too deep (cycle?)")
 
     def _select_edge(self, ctx, eid: int):
-        u, v, w = yield Load(self.edges_arr + eid * WORD_BYTES)
-        cu = yield from self._find(u)
-        cv = yield from self._find(v)
+        u, v, w = yield ctx.load(self.edges_arr + eid * WORD_BYTES)
+        cu = yield from self._find(ctx, u)
+        cv = yield from self._find(ctx, v)
         if cu == cv:
             return False
         lo, hi = (cu, cv) if cu < cv else (cv, cu)
         pair = (w, eid, lo, hi, u, v)
         for c in (lo, hi):
-            cur = yield LabeledLoad(self._minedge(c), self.OPUT)
+            cur = yield ctx.labeled_load(self._minedge(c), self.OPUT)
             if cur is None or cur == 0 or pair[0] < cur[0]:
-                yield LabeledStore(self._minedge(c), self.OPUT, pair)
+                yield ctx.labeled_store(self._minedge(c), self.OPUT, pair)
         return True
 
     def _process_component(self, ctx, c: int, rnd: int):
-        pair = yield Load(self._minedge(c))  # OPUT reduction
+        pair = yield ctx.load(self._minedge(c))  # OPUT reduction
         if pair is None or pair == 0:
             return None
         w, eid, lo, hi, u, v = pair
@@ -152,48 +144,48 @@ class _Boruvka:
             # Mutual-minimum dedupe: when both endpoints selected the same
             # edge, only the smaller root adds it; otherwise this (larger)
             # root adds its own min edge.
-            lo_pair = yield Load(self._minedge(lo))
+            lo_pair = yield ctx.load(self._minedge(lo))
             if lo_pair == pair:
                 return None
         # Mark the edge in the MST (64-bit MAX per the paper).
-        mark = yield LabeledLoad(self._mark(eid), self.MAX)
+        mark = yield ctx.labeled_load(self._mark(eid), self.MAX)
         if mark is None or mark < 1:
-            yield LabeledStore(self._mark(eid), self.MAX, 1)
+            yield ctx.labeled_store(self._mark(eid), self.MAX, 1)
         # Accumulate total weight (ADD).
-        total = yield LabeledLoad(self.weight, self.ADD)
-        yield LabeledStore(self.weight, self.ADD, total + w)
+        total = yield ctx.labeled_load(self.weight, self.ADD)
+        yield ctx.labeled_store(self.weight, self.ADD, total + w)
         # Union: hook the larger root to the smaller (MIN).
-        cur = yield LabeledLoad(self._hook(hi), self.MIN)
+        cur = yield ctx.labeled_load(self._hook(hi), self.MIN)
         if cur is None or lo < cur:
-            yield LabeledStore(self._hook(hi), self.MIN, lo)
+            yield ctx.labeled_store(self._hook(hi), self.MIN, lo)
         # Count progress for the termination check (ADD).
-        p = yield LabeledLoad(self.progress + rnd * WORD_BYTES, self.ADD)
-        yield LabeledStore(self.progress + rnd * WORD_BYTES, self.ADD, p + 1)
+        p = yield ctx.labeled_load(self.progress + rnd * WORD_BYTES, self.ADD)
+        yield ctx.labeled_store(self.progress + rnd * WORD_BYTES, self.ADD, p + 1)
         return (u, v)
 
     def _fixup_step(self, ctx, u: int, v: int):
         """Repair a lost union: returns True when u and v share a root."""
-        ru = yield from self._find(u)
-        rv = yield from self._find(v)
+        ru = yield from self._find(ctx, u)
+        rv = yield from self._find(ctx, v)
         if ru == rv:
             return True
         lo, hi = (ru, rv) if ru < rv else (rv, ru)
-        cur = yield LabeledLoad(self._hook(hi), self.MIN)
+        cur = yield ctx.labeled_load(self._hook(hi), self.MIN)
         if cur is None or lo < cur:
-            yield LabeledStore(self._hook(hi), self.MIN, lo)
+            yield ctx.labeled_store(self._hook(hi), self.MIN, lo)
         return False
 
     def _compress_and_reset(self, ctx, c: int):
-        root = yield from self._find(c)
+        root = yield from self._find(ctx, c)
         if root != c:
-            cur = yield LabeledLoad(self._hook(c), self.MIN)
+            cur = yield ctx.labeled_load(self._hook(c), self.MIN)
             if cur is None or root < cur:
-                yield LabeledStore(self._hook(c), self.MIN, root)
-        yield Store(self._minedge(c), None)  # reset the OPUT cell
+                yield ctx.labeled_store(self._hook(c), self.MIN, root)
+        yield ctx.store(self._minedge(c), None)  # reset the OPUT cell
 
     def _publish_flag(self, ctx, rnd: int):
-        count = yield Load(self.progress + rnd * WORD_BYTES)
-        yield Store(self.flag, 1 if count else 0)
+        count = yield ctx.load(self.progress + rnd * WORD_BYTES)
+        yield ctx.store(self.flag, 1 if count else 0)
 
     # --- SPMD body ------------------------------------------------------------
 
@@ -207,14 +199,14 @@ class _Boruvka:
                 for eid in my_edges:
                     # Loop control, index arithmetic, weight compares, and
                     # the graph-traversal bookkeeping zsim would execute.
-                    yield Work(180)
+                    yield ctx.work(180)
                     yield Atomic(self._select_edge, eid)
-                yield Barrier()
+                yield BARRIER
                 for c in my_nodes:
                     edge = yield Atomic(self._process_component, c, rnd)
                     if edge is not None:
                         added.append(edge)
-                yield Barrier()
+                yield BARRIER
                 for (u, v) in added:
                     for _ in range(MAX_FIND_DEPTH):
                         done = yield Atomic(self._fixup_step, u, v)
@@ -222,11 +214,11 @@ class _Boruvka:
                             break
                 for c in my_nodes:
                     yield Atomic(self._compress_and_reset, c)
-                yield Barrier()
+                yield BARRIER
                 if tid == 0:
                     yield Atomic(self._publish_flag, rnd)
-                yield Barrier()
-                flag = yield Load(self.flag)
+                yield BARRIER
+                flag = yield ctx.load(self.flag)
                 if not flag:
                     return
 

@@ -16,7 +16,7 @@ segments (little shared state, as in the original).
 from __future__ import annotations
 
 from ...mem.address import WORD_BYTES
-from ...runtime.ops import Atomic, Barrier, Load, Work
+from ...runtime.ops import Atomic, BARRIER
 from ...datatypes.hash_table import ResizableHashTable
 from ..inputs.genes import make_segments
 from ..micro.common import BuiltWorkload
@@ -73,7 +73,7 @@ class _Genome:
 
     def _dedup_insert(self, ctx, i: int):
         """Insert segment i if not already present (phase 1)."""
-        seg = yield Load(self.segments_arr + i * WORD_BYTES)
+        seg = yield ctx.load(self.segments_arr + i * WORD_BYTES)
         existing = yield from self.table.lookup(ctx, seg)
         if existing is not None:
             return False
@@ -86,13 +86,13 @@ class _Genome:
         def body(ctx):
             # Phase 1: deduplicate segments via hash-set inserts.
             for i in my_segments:
-                yield Work(200)  # segment hashing + compare
+                yield ctx.work(200)  # segment hashing + compare
                 yield Atomic(self._dedup_insert, i)
-            yield Barrier()
+            yield BARRIER
             # Phase 2: overlap matching on the deduplicated segments —
             # compute-dominated, no shared transactional state.
             for _i in my_segments:
-                yield Work(400)
+                yield ctx.work(400)
 
         return body
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ...core.labels import add_label
 from ...mem.address import LINE_BYTES, WORD_BYTES
-from ...runtime.ops import Atomic, Barrier, LabeledLoad, LabeledStore, Load, Store, Work
+from ...runtime.ops import Atomic, BARRIER
 from ..micro.common import BuiltWorkload
 
 DEFAULT_POINTS = 512
@@ -88,11 +88,11 @@ class _KMeans:
         base = self.accum[cluster]
         for d, coord in enumerate(point):
             addr = base + d * WORD_BYTES
-            cur = yield LabeledLoad(addr, self.ADD)
-            yield LabeledStore(addr, self.ADD, cur + coord)
+            cur = yield ctx.labeled_load(addr, self.ADD)
+            yield ctx.labeled_store(addr, self.ADD, cur + coord)
         caddr = base + self.dims * WORD_BYTES
-        cnt = yield LabeledLoad(caddr, self.ADD)
-        yield LabeledStore(caddr, self.ADD, cnt + 1)
+        cnt = yield ctx.labeled_load(caddr, self.ADD)
+        yield ctx.labeled_store(caddr, self.ADD, cnt + 1)
 
     def _recompute(self, ctx, cluster: int):
         """Leader: read the accumulator (reduction), publish the centroid,
@@ -100,14 +100,14 @@ class _KMeans:
         base = self.accum[cluster]
         sums = []
         for d in range(self.dims):
-            v = yield Load(base + d * WORD_BYTES)
+            v = yield ctx.load(base + d * WORD_BYTES)
             sums.append(v)
-        cnt = yield Load(base + self.dims * WORD_BYTES)
+        cnt = yield ctx.load(base + self.dims * WORD_BYTES)
         if cnt:
             centroid = tuple(s // cnt for s in sums)
-            yield Store(self.centroids_arr + cluster * WORD_BYTES, centroid)
+            yield ctx.store(self.centroids_arr + cluster * WORD_BYTES, centroid)
         for d in range(self.dims + 1):
-            yield Store(base + d * WORD_BYTES, 0)
+            yield ctx.store(base + d * WORD_BYTES, 0)
 
     # --- SPMD body ---------------------------------------------------------------
 
@@ -119,17 +119,17 @@ class _KMeans:
             for _ in range(self.iterations):
                 centroids = []
                 for c in range(self.clusters):
-                    v = yield Load(self.centroids_arr + c * WORD_BYTES)
+                    v = yield ctx.load(self.centroids_arr + c * WORD_BYTES)
                     centroids.append(v)
                 for i in my_points:
-                    point = yield Load(self.points_arr + i * WORD_BYTES)
-                    yield Work(8 * self.dims * self.clusters + 100)  # distances
+                    point = yield ctx.load(self.points_arr + i * WORD_BYTES)
+                    yield ctx.work(8 * self.dims * self.clusters + 100)  # distances
                     best = _nearest(point, centroids)
                     yield Atomic(self._accumulate, best, point)
-                yield Barrier()
+                yield BARRIER
                 for c in my_clusters:
                     yield Atomic(self._recompute, c)
-                yield Barrier()
+                yield BARRIER
 
         return body
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ...core.labels import add_label, max_label
 from ...mem.address import WORD_BYTES
-from ...runtime.ops import Atomic, LabeledLoad, LabeledStore, Load, Store, Work
+from ...runtime.ops import Atomic
 from ..inputs.graphs import Graph, rmat_graph
 from ..micro.common import BuiltWorkload
 
@@ -74,23 +74,23 @@ class _Ssca2:
     BATCH = 32
 
     def _insert_edge(self, ctx, eid: int):
-        u, v, w = yield Load(self.edges_arr + eid * WORD_BYTES)
+        u, v, w = yield ctx.load(self.edges_arr + eid * WORD_BYTES)
         addr = self.adjacency + u * WORD_BYTES
-        adj = yield Load(addr)
+        adj = yield ctx.load(addr)
         adj = adj if adj != 0 else ()
-        yield Work(2 + len(adj) // 8)
+        yield ctx.work(2 + len(adj) // 8)
         adj = adj + ((v, w),)
-        yield Store(addr, adj)
+        yield ctx.store(addr, adj)
         return len(adj), w
 
     def _publish_metadata(self, ctx, count: int, weight: int, degree: int):
-        te = yield LabeledLoad(self.total_edges, self.ADD)
-        yield LabeledStore(self.total_edges, self.ADD, te + count)
-        tw = yield LabeledLoad(self.total_weight, self.ADD)
-        yield LabeledStore(self.total_weight, self.ADD, tw + weight)
-        deg = yield LabeledLoad(self.max_degree, self.MAX)
+        te = yield ctx.labeled_load(self.total_edges, self.ADD)
+        yield ctx.labeled_store(self.total_edges, self.ADD, te + count)
+        tw = yield ctx.labeled_load(self.total_weight, self.ADD)
+        yield ctx.labeled_store(self.total_weight, self.ADD, tw + weight)
+        deg = yield ctx.labeled_load(self.max_degree, self.MAX)
         if deg is None or degree > deg:
-            yield LabeledStore(self.max_degree, self.MAX, degree)
+            yield ctx.labeled_store(self.max_degree, self.MAX, degree)
 
     def make_body(self, tid: int):
         my_edges = _chunk(self.graph.num_edges, self.num_threads, tid)
@@ -102,7 +102,7 @@ class _Ssca2:
             for eid in my_edges:
                 # The kernel's per-edge computation dwarfs the transactional
                 # part (ssca2's labeled fraction is ~6e-7 in the paper).
-                yield Work(400)
+                yield ctx.work(400)
                 deg, w = yield Atomic(self._insert_edge, eid)
                 pending_count += 1
                 pending_weight += w

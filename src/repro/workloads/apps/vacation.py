@@ -15,7 +15,7 @@ insert a booking (hash-table insert — the counter decrement).
 
 from __future__ import annotations
 
-from ...runtime.ops import Atomic, Work
+from ...runtime.ops import Atomic
 from ...datatypes.hash_table import ResizableHashTable
 from ..inputs.travel import make_requests
 from ..micro.common import BuiltWorkload, split_ops
@@ -103,7 +103,7 @@ class _Vacation:
         """Book every available item; returns booked item list."""
         booked = []
         for kind, rid in items:
-            yield Work(20)  # request parsing / price comparison
+            yield ctx.work(20)  # request parsing / price comparison
             record = yield from self.resources[kind].lookup(ctx, rid)
             if record is None:
                 continue
@@ -132,7 +132,7 @@ class _Vacation:
         released = []
         for kind in ("car", "flight", "room"):
             for rid in range(0, self.relations, 16):  # sampled scan
-                yield Work(4)
+                yield ctx.work(4)
                 price = yield from self.reservations.lookup(
                     ctx, (customer, kind, rid)
                 )
@@ -152,7 +152,7 @@ class _Vacation:
     def _update_tables(self, ctx, customer, items):
         """Admin task: grow or reprice resources."""
         for kind, rid in items:
-            yield Work(10)
+            yield ctx.work(10)
             record = yield from self.resources[kind].lookup(ctx, rid)
             if record is None:
                 continue
@@ -172,7 +172,7 @@ class _Vacation:
 
         def body(ctx):
             for req in my_requests:
-                yield Work(150)  # client think time
+                yield ctx.work(150)  # client think time
                 if req.action == "reserve":
                     booked = yield Atomic(self._reserve, req.customer,
                                           req.items)

@@ -8,7 +8,7 @@ per-operation cost ratios and saturate quickly), and is a parameter.
 from __future__ import annotations
 
 from ...datatypes.counter import SharedCounter
-from ...runtime.ops import Atomic, Work
+from ...runtime.ops import Atomic
 from .common import BuiltWorkload, split_ops
 
 DEFAULT_OPS = 20_000
@@ -28,10 +28,14 @@ def build(machine, num_threads: int, total_ops: int = DEFAULT_OPS,
 
     def make_body(ops: int):
         def body(ctx):
+            # Loop-invariant Atomic, hoisted: the engine retains it only
+            # for abort replay, which completes before the body resumes,
+            # so one instance safely serves every iteration.
+            add_one = Atomic(counter.add, 1)
             for _ in range(ops):
                 if think_cycles:
-                    yield Work(think_cycles)
-                yield Atomic(counter.add, 1)
+                    yield ctx.work(think_cycles)
+                yield add_one
         return body
 
     def verify(m):

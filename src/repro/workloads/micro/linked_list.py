@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ...datatypes.linked_list import ConcurrentLinkedList
 from ...mem.address import WORD_BYTES
-from ...runtime.ops import Atomic, Work
+from ...runtime.ops import Atomic
 from .common import BuiltWorkload, split_ops
 
 DEFAULT_OPS = 20_000
@@ -44,7 +44,7 @@ def build(machine, num_threads: int, total_ops: int = DEFAULT_OPS,
             rng = ctx.rng
             for i in range(ops):
                 if think_cycles:
-                    yield Work(think_cycles)
+                    yield ctx.work(think_cycles)
                 if enqueue_fraction >= 1.0 or rng.random() < enqueue_fraction:
                     value = (tid << 32) | i
                     yield Atomic(lst.enqueue, value)

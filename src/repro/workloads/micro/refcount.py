@@ -15,7 +15,7 @@ Three configurations: CommTM with gather requests, CommTM without
 from __future__ import annotations
 
 from ...datatypes.bounded_counter import BoundedCounter
-from ...runtime.ops import Atomic, Work
+from ...runtime.ops import Atomic
 from .common import BuiltWorkload, split_ops
 
 DEFAULT_OPS = 20_000
@@ -60,7 +60,7 @@ def build(machine, num_threads: int, total_ops: int = DEFAULT_OPS,
             rng = ctx.rng
             for _ in range(ops):
                 if think_cycles:
-                    yield Work(think_cycles)
+                    yield ctx.work(think_cycles)
                 obj = rng.randrange(num_objects)
                 p_inc = 1.0 - held[obj] / MAX_REFS
                 if rng.random() < p_inc:

@@ -210,6 +210,58 @@ def contains(ctx, obj):
 """)
         assert checks == []
 
+    def test_mixed_store_in_shuttle_form(self):
+        # ctx.<method> shuttle calls map onto the same op kinds.
+        checks = self._checks("""
+def txn(ctx, obj):
+    v = yield ctx.labeled_load(obj.addr, obj.label)
+    yield ctx.store(obj.addr, v + 1)
+""")
+        assert ("mixed-store", ERROR) in checks
+
+    def test_load_before_labeled_in_shuttle_form(self):
+        checks = self._checks("""
+def txn(ctx, obj):
+    v = yield ctx.load(obj.addr)
+    yield ctx.labeled_store(obj.addr, obj.label, v)
+""")
+        assert ("mixed-load-before", WARNING) in checks
+
+    def test_shuttle_and_constructor_forms_mix(self):
+        # The two spellings of the same address must still collide.
+        checks = self._checks("""
+def txn(ctx, obj):
+    v = yield LabeledLoad(obj.addr, obj.label)
+    yield ctx.store(obj.addr, v + 1)
+""")
+        assert ("mixed-store", ERROR) in checks
+
+    def test_shuttle_held_is_error(self):
+        checks = self._checks("""
+def txn(ctx, obj):
+    op = ctx.load(obj.addr)
+    v = yield op
+""")
+        assert ("shuttle-held", ERROR) in checks
+
+    def test_shuttle_work_held_is_error(self):
+        checks = self._checks("""
+def txn(ctx):
+    ops = [ctx.work(10)]
+    for op in ops:
+        yield op
+""")
+        assert ("shuttle-held", ERROR) in checks
+
+    def test_shuttle_yielded_directly_is_clean(self):
+        checks = self._checks("""
+def txn(ctx, obj):
+    v = yield ctx.labeled_load(obj.addr, obj.label)
+    yield ctx.labeled_store(obj.addr, obj.label, v + 1)
+    yield ctx.work(5)
+""")
+        assert checks == []
+
     def test_builtin_datatypes_and_workloads_are_clean(self):
         import repro
 

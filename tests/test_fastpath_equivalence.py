@@ -58,12 +58,14 @@ def test_fastpath_is_bit_identical(name, commtm, seed, monkeypatch):
     # coherence traffic, CommTM mechanism counts, instruction counts.
     assert fast.stats.comparable() == slow.stats.comparable()
 
-    # The escape hatch really forces the slow path...
+    # The escape hatch really forces the slow path: zero hits, zero
+    # *attempts* — the hit rate reads None ("disabled"), not 0.0.
     assert slow.stats.host_fastpath_hits == 0
+    assert slow.stats.host_fastpath_misses == 0
+    assert slow.stats.fastpath_hit_rate is None
     # ...and the fast path really fires (every micro has private hits).
     assert fast.stats.host_fastpath_hits > 0
     assert 0.0 < fast.stats.fastpath_hit_rate <= 1.0
-    assert slow.stats.fastpath_hit_rate == 0.0
 
 
 @pytest.mark.parametrize("no_fastpath", [False, True],

@@ -274,11 +274,18 @@ def test_point_report_includes_obs_sections(monkeypatch):
     for key in ("lifecycle", "abort_attribution", "hot_lines", "per_label"):
         assert key in report
     assert report["abort_attribution"]
+    # Observed runs never attempt the coherence fast path, and the host
+    # section spells the resulting None hit rate as "disabled".
+    assert report["host"]["fastpath_hit_rate"] == "disabled"
+    assert report["host"]["fastpath_gated"] is False
+    assert report["host"]["runahead_batches"] > 0
+    assert report["host"]["runahead_ops_per_batch"] >= 1.0
     # Without obs the report still renders, minus the obs sections.
     plain = _run(MICROS["counter"], commtm=False, monkeypatch=monkeypatch)
     bare = point_report(plain)
     assert "abort_attribution" not in bare
     assert bare["cycles"] == report["cycles"]  # obs never disturbs
+    assert bare["host"]["fastpath_hit_rate"] != "disabled"
 
 
 def test_cli_writes_versioned_artifacts(tmp_path, monkeypatch):

@@ -1,0 +1,261 @@
+"""Differential tests for the run-ahead (leapfrog) scheduler.
+
+The run-ahead loop in ``Engine._run_runahead`` is a host-side
+optimization only: it batches consecutive steps of the minimum-clock core
+into one scheduling quantum, but must reproduce the *exact* ``(stamp,
+core)`` pop order of the single-step reference loop that
+``REPRO_NO_RUNAHEAD=1`` forces. These tests run every micro workload both
+ways and compare ``Stats.comparable()`` (every simulated statistic,
+``host_*`` counters excluded) — and, for a sharper check, record the
+full op-level interleaving trace of both schedulers and require it to be
+identical element by element.
+
+The adaptive fast-path gate (``Engine._disable_fastpath``) is validated
+here too: it is driven purely by the attempt/hit sequence, which the
+trace tests prove is scheduler-independent, so gating composes with
+run-ahead without breaking bit-identity.
+"""
+
+import pytest
+
+from repro import Machine
+from repro.analysis.sanitizer import SANITIZE_ENV
+from repro.harness.runner import run_workload
+from repro.obs import OBS_ENV
+from repro.params import small_config
+from repro.runtime.ops import BARRIER, Atomic
+from repro.sim.engine import (Engine, NO_FASTPATH_ENV, NO_RUNAHEAD_ENV,
+                              runahead_enabled)
+from repro.workloads.micro import (counter, linked_list, ordered_put,
+                                   refcount, topk)
+from repro.workloads.micro.common import BuiltWorkload
+
+MICROS = {
+    "counter": counter.build,
+    "topk": topk.build,
+    "ordered_put": ordered_put.build,
+    "linked_list": linked_list.build,
+    "refcount": refcount.build,
+}
+
+
+def _run(build, *, commtm, seed, runahead, monkeypatch, sanitize=False,
+         observe=False, **params):
+    if runahead:
+        monkeypatch.delenv(NO_RUNAHEAD_ENV, raising=False)
+    else:
+        monkeypatch.setenv(NO_RUNAHEAD_ENV, "1")
+    if sanitize:
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+    else:
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    if observe:
+        monkeypatch.setenv(OBS_ENV, "1")
+    else:
+        monkeypatch.delenv(OBS_ENV, raising=False)
+    params.setdefault("total_ops", 240)
+    return run_workload(build, 4, num_cores=16, commtm=commtm, seed=seed,
+                        **params)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+@pytest.mark.parametrize("commtm", [True, False],
+                         ids=["commtm", "baseline"])
+@pytest.mark.parametrize("name", sorted(MICROS))
+def test_runahead_is_bit_identical(name, commtm, seed, monkeypatch):
+    build = MICROS[name]
+    ahead = _run(build, commtm=commtm, seed=seed, runahead=True,
+                 monkeypatch=monkeypatch)
+    stepped = _run(build, commtm=commtm, seed=seed, runahead=False,
+                   monkeypatch=monkeypatch)
+
+    assert ahead.cycles == stepped.cycles
+    assert ahead.stats.parallel_cycles == stepped.stats.parallel_cycles
+    assert ahead.stats.aborts == stepped.stats.aborts
+    assert ahead.stats.commits == stepped.stats.commits
+    assert ahead.stats.comparable() == stepped.stats.comparable()
+
+    # The escape hatch really selects the reference loop (no quanta), and
+    # the run-ahead loop really batches (>= 1 op per quantum).
+    assert stepped.stats.host_runahead_batches == 0
+    assert stepped.stats.runahead_ops_per_batch is None
+    assert ahead.stats.host_runahead_batches > 0
+    assert ahead.stats.runahead_ops_per_batch >= 1.0
+
+
+@pytest.mark.parametrize("mode", ["obs", "sanitize"])
+@pytest.mark.parametrize("name", ["counter", "topk"])
+def test_runahead_composes_with_obs_and_sanitize(name, mode, monkeypatch):
+    """Run-ahead stays bit-identical when the observability layer or the
+    coherence sanitizer rebuilds the handler table around it."""
+    build = MICROS[name]
+    kwargs = {"sanitize": mode == "sanitize", "observe": mode == "obs"}
+    ahead = _run(build, commtm=True, seed=1, runahead=True,
+                 monkeypatch=monkeypatch, **kwargs)
+    stepped = _run(build, commtm=True, seed=1, runahead=False,
+                   monkeypatch=monkeypatch, **kwargs)
+    assert ahead.cycles == stepped.cycles
+    assert ahead.stats.comparable() == stepped.stats.comparable()
+    assert ahead.stats.host_runahead_batches > 0
+
+
+def test_env_parsing(monkeypatch):
+    for off in ("1", "true", "yes", " 1 "):
+        monkeypatch.setenv(NO_RUNAHEAD_ENV, off)
+        assert not runahead_enabled()
+    for on in ("", "0", "false", " FALSE "):
+        monkeypatch.setenv(NO_RUNAHEAD_ENV, on)
+        assert runahead_enabled()
+    monkeypatch.delenv(NO_RUNAHEAD_ENV)
+    assert runahead_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Adaptive fast-path gate
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("runahead", [True, False],
+                         ids=["runahead", "stepped"])
+def test_gate_disables_fastpath_on_contended_baseline(runahead, monkeypatch):
+    """The baseline counter is the fast path's worst case (every store
+    contends): the gate must trip after warmup, record a sub-threshold
+    hit rate, and leave simulated results bit-identical to both the
+    never-attempted (REPRO_NO_FASTPATH) run and the other scheduler."""
+    gated = _run(MICROS["counter"], commtm=False, seed=1, runahead=runahead,
+                 monkeypatch=monkeypatch, total_ops=600)
+    assert gated.stats.host_fastpath_gated
+    assert gated.stats.fastpath_hit_rate is not None
+    assert gated.stats.fastpath_hit_rate < 0.5
+
+    monkeypatch.setenv(NO_FASTPATH_ENV, "1")
+    never = _run(MICROS["counter"], commtm=False, seed=1, runahead=runahead,
+                 monkeypatch=monkeypatch, total_ops=600)
+    monkeypatch.delenv(NO_FASTPATH_ENV)
+    assert not never.stats.host_fastpath_gated
+    assert never.stats.fastpath_hit_rate is None
+    assert gated.cycles == never.cycles
+    assert gated.stats.comparable() == never.stats.comparable()
+
+
+def test_gate_decision_is_scheduler_independent(monkeypatch):
+    ahead = _run(MICROS["counter"], commtm=False, seed=1, runahead=True,
+                 monkeypatch=monkeypatch, total_ops=600)
+    stepped = _run(MICROS["counter"], commtm=False, seed=1, runahead=False,
+                   monkeypatch=monkeypatch, total_ops=600)
+    # Identical interleaving -> identical attempt/hit sequence -> the gate
+    # trips at the same op with the same observed rate.
+    assert ahead.stats.host_fastpath_gated
+    assert stepped.stats.host_fastpath_gated
+    assert ahead.stats.fastpath_hit_rate == stepped.stats.fastpath_hit_rate
+
+
+def test_gate_leaves_hit_dominated_workloads_alone(monkeypatch):
+    res = _run(MICROS["counter"], commtm=True, seed=1, runahead=True,
+               monkeypatch=monkeypatch, total_ops=600)
+    assert not res.stats.host_fastpath_gated
+    assert res.stats.fastpath_hit_rate > 0.9
+
+
+# ---------------------------------------------------------------------------
+# Op-level interleaving traces
+# ---------------------------------------------------------------------------
+
+def _random_mix(machine, num_threads: int, iters: int = 60) -> BuiltWorkload:
+    """A scheduling-order stress: per-thread deterministic random mixes of
+    conventional loads, private stores, variable think time, commutative
+    transactions, and barriers — far more irregular core clocks than any
+    micro, so quantum hand-off edges get exercised hard."""
+    from repro.datatypes.counter import SharedCounter
+
+    shared_counter = SharedCounter(machine)
+    lines = [machine.alloc.alloc_line() for _ in range(4)]
+    for addr in lines:
+        machine.seed_word(addr, 0)
+
+    def make_body(tid: int):
+        def body(ctx):
+            rng = ctx.rng
+            scratch = ctx.thread_alloc_words(1)
+            add_one = Atomic(shared_counter.add, 1)
+            for i in range(iters):
+                r = rng.random()
+                if r < 0.4:
+                    yield ctx.load(lines[rng.randrange(len(lines))])
+                elif r < 0.6:
+                    yield ctx.store(scratch, i)
+                elif r < 0.85:
+                    yield ctx.work(1 + rng.randrange(50))
+                else:
+                    yield add_one
+                if i % 20 == 10:
+                    yield BARRIER
+        return body
+
+    return BuiltWorkload(
+        name="random_mix",
+        bodies=[make_body(t) for t in range(num_threads)],
+        verify=None,
+        info={},
+    )
+
+
+def _traced_engine(machine, bodies):
+    """An Engine whose every op dispatch is recorded as
+    ``(core, op class, addr)`` — the full interleaving, not just totals."""
+    engine = Engine(machine, bodies)
+    trace = []
+    append = trace.append
+
+    def wrap(handler):
+        def wrapped(runner, op):
+            append((runner.core, op.__class__.__name__,
+                    getattr(op, "addr", None)))
+            return handler(runner, op)
+        return wrapped
+
+    for op_cls, handler in list(engine._handlers.items()):
+        engine._handlers[op_cls] = wrap(handler)
+    return engine, trace
+
+
+def _interleaving(build, *, commtm, seed, runahead, monkeypatch):
+    # Pin the fast path off so the handler table stays stable (the gate
+    # rebinding mid-run would strip the recording wrappers).
+    monkeypatch.setenv(NO_FASTPATH_ENV, "1")
+    if runahead:
+        monkeypatch.delenv(NO_RUNAHEAD_ENV, raising=False)
+    else:
+        monkeypatch.setenv(NO_RUNAHEAD_ENV, "1")
+    machine = Machine(small_config(num_cores=8, seed=seed,
+                                   commtm_enabled=commtm))
+    built = build(machine, 4)
+    engine, trace = _traced_engine(machine, built.bodies)
+    engine.run()
+    return trace, machine.stats
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("commtm", [True, False],
+                         ids=["commtm", "baseline"])
+def test_random_mix_interleaving_identical(commtm, seed, monkeypatch):
+    ahead, stats_a = _interleaving(_random_mix, commtm=commtm, seed=seed,
+                                   runahead=True, monkeypatch=monkeypatch)
+    stepped, stats_s = _interleaving(_random_mix, commtm=commtm, seed=seed,
+                                     runahead=False, monkeypatch=monkeypatch)
+    assert len(ahead) == len(stepped)
+    assert ahead == stepped
+    assert stats_a.parallel_cycles == stats_s.parallel_cycles
+    assert stats_a.comparable() == stats_s.comparable()
+
+
+@pytest.mark.parametrize("name", ["counter", "refcount"])
+def test_micro_interleaving_identical(name, monkeypatch):
+    def build(machine, num_threads):
+        return MICROS[name](machine, num_threads, total_ops=120)
+
+    ahead, stats_a = _interleaving(build, commtm=True, seed=1,
+                                   runahead=True, monkeypatch=monkeypatch)
+    stepped, stats_s = _interleaving(build, commtm=True, seed=1,
+                                     runahead=False, monkeypatch=monkeypatch)
+    assert ahead == stepped
+    assert stats_a.comparable() == stats_s.comparable()

@@ -5,6 +5,7 @@ import pytest
 from repro import Machine
 from repro.core.labels import add_label
 from repro.params import small_config
+from repro.runtime import ops as ops_module
 from repro.runtime.ops import (
     Atomic,
     Barrier,
@@ -20,10 +21,22 @@ from repro.runtime.thread_api import ThreadCtx
 
 
 class TestOps:
-    def test_ops_are_immutable(self):
+    def test_ops_are_mutable_and_slotted(self):
+        # The shuttle API reuses op instances by mutating their fields
+        # (consume-before-resume contract), so ops must be writable —
+        # but still slotted: no stray attributes, no per-op __dict__.
         op = Load(addr=8)
-        with pytest.raises(Exception):
-            op.addr = 16
+        op.addr = 16
+        assert op.addr == 16
+        with pytest.raises(AttributeError):
+            op.extra = 1
+
+    def test_work_and_barrier_are_interned(self):
+        assert ops_module.work(40) is ops_module.work(40)
+        assert ops_module.work(40).cycles == 40
+        assert ops_module.work(40) is not ops_module.work(41)
+        assert ops_module.BARRIER is ops_module.BARRIER
+        assert isinstance(ops_module.BARRIER, Barrier)
 
     def test_memory_ops_tuple(self):
         assert Load in MEMORY_OPS
@@ -97,3 +110,30 @@ class TestThreadCtx:
         machine, ctx0 = self.make_ctx(0)
         ctx1 = ThreadCtx(1, machine)
         assert ctx0.rng.random() != ctx1.rng.random()
+
+    def test_op_shuttles_reuse_one_instance(self):
+        machine, ctx = self.make_ctx()
+        first = ctx.load(8)
+        second = ctx.load(64)
+        assert first is second  # mutate-and-return, no per-op allocation
+        assert second.addr == 64
+        assert ctx.store(8, "v") is ctx.store(16, "w")
+        assert ctx.work(40) is ctx.work(120)
+        assert ctx.work(120).cycles == 120
+
+    def test_labeled_shuttles_carry_full_payload(self):
+        machine, ctx = self.make_ctx()
+        label = machine.labels.get("ADD")
+        op = ctx.labeled_store(24, label, 7)
+        assert (op.addr, op.label, op.value) == (24, label, 7)
+        assert isinstance(op, LabeledStore)
+        gather = ctx.load_gather(24, label)
+        assert isinstance(gather, LoadGather)
+        assert gather.label is label
+        assert isinstance(ctx.labeled_load(8, label), LabeledLoad)
+
+    def test_shuttles_are_private_per_ctx(self):
+        machine, ctx0 = self.make_ctx(0)
+        ctx1 = ThreadCtx(1, machine)
+        assert ctx0.load(8) is not ctx1.load(8)
+        assert ctx0.barrier() is ctx1.barrier()  # payload-free: interned

@@ -1,0 +1,80 @@
+"""Non-gating perf-regression check for CI's bench-smoke job.
+
+Compares a freshly measured ``BENCH_sim_throughput.json`` against the
+committed baseline copy and emits a GitHub Actions ``::warning::``
+annotation for every ``single_run_ops_per_sec`` entry that dropped by
+more than the threshold. Always exits 0: CI runners are far too noisy
+for wall-clock numbers to gate a merge — the warnings exist so a real
+hot-loop regression shows up on the PR instead of three PRs later.
+
+Usage::
+
+    python tools/check_bench_regression.py BASELINE.json FRESH.json
+
+The committed baseline is measured with the full benchmark config while
+CI measures with ``REPRO_BENCH_SMOKE=1`` (smaller runs, fewer reps).
+Ops-per-second is a rate, so the two configs land in the same ballpark
+and the comparison is still worth making — but when the documents
+disagree on ``smoke`` the check says so up front, so a warning can be
+read with the config difference (and the runner's speed) in mind.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Fractional drop in ops/sec that triggers a warning annotation.
+THRESHOLD = 0.20
+
+
+def check(baseline: dict, fresh: dict) -> list:
+    """Warning strings for every entry that regressed past THRESHOLD."""
+    warnings = []
+    if bool(baseline.get("smoke")) != bool(fresh.get("smoke")):
+        print(f"note: bench configs differ (baseline "
+              f"smoke={baseline.get('smoke')}, fresh "
+              f"smoke={fresh.get('smoke')}); ops/sec is a rate, so the "
+              f"comparison holds approximately, but read warnings with "
+              f"the config difference in mind")
+    base_runs = baseline.get("single_run_ops_per_sec", {})
+    fresh_runs = fresh.get("single_run_ops_per_sec", {})
+    for name, base_ops in sorted(base_runs.items()):
+        fresh_ops = fresh_runs.get(name)
+        if fresh_ops is None:
+            warnings.append(f"{name}: present in baseline but not measured")
+            continue
+        if base_ops <= 0:
+            continue
+        drop = 1.0 - fresh_ops / base_ops
+        if drop > THRESHOLD:
+            warnings.append(
+                f"{name}: {fresh_ops:,} ops/s is {drop:.0%} below the "
+                f"baseline {base_ops:,} ops/s (threshold {THRESHOLD:.0%})")
+    return warnings
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 2:
+        print("usage: check_bench_regression.py BASELINE.json FRESH.json")
+        return 0  # non-gating even on misuse
+    baseline_path, fresh_path = Path(args[0]), Path(args[1])
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"::warning::bench regression check skipped: {exc}")
+        return 0
+    warnings = check(baseline, fresh)
+    for message in warnings:
+        print(f"::warning::bench: {message}")
+    if not warnings:
+        print(f"bench regression check: no entry dropped more than "
+              f"{THRESHOLD:.0%} vs {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
