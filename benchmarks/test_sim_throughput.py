@@ -29,6 +29,13 @@ layers:
 ``obs.slowdown`` (``REPRO_OBS=1`` structured observability) — both
 asserted to leave simulated stats bit-identical.
 
+When numpy is installed, each single-run point is also timed under the
+vector engine backend (``backend="vector"``) as a fourth leg of the same
+interleaved A/B, recorded as ``backend_ab`` (interp vs vector ops/sec and
+the speedup ratio) and ``single_run_ops_per_sec_vector``. The vector run
+is asserted bit-identical to the interpreted run on the spot —
+tests/test_vector_equivalence.py holds the full differential oracle.
+
 Set ``REPRO_BENCH_SMOKE=1`` (CI's bench-smoke job) for a reduced config
 that exercises every code path in seconds without pretending to be a
 stable measurement.
@@ -46,6 +53,7 @@ from repro.harness import ResultCache, make_spec, run_points
 from repro.harness.runner import run_workload
 from repro.obs import OBS_ENV
 from repro.sim.engine import NO_FASTPATH_ENV, NO_RUNAHEAD_ENV
+from repro.sim.vector import BACKEND_ENV, available as vector_available
 from repro.workloads.apps import kmeans
 from repro.workloads.micro import counter
 
@@ -135,6 +143,8 @@ def test_sim_throughput(tmp_path, monkeypatch):
         "cpu_count": os.cpu_count(),
         "smoke": SMOKE,
         "single_run_ops_per_sec": {},
+        "single_run_ops_per_sec_vector": {},
+        "backend_ab": {},
         "fastpath": {},
         "runahead": {},
         "sanitize": {},
@@ -147,6 +157,8 @@ def test_sim_throughput(tmp_path, monkeypatch):
     monkeypatch.delenv(NO_RUNAHEAD_ENV, raising=False)
     monkeypatch.delenv(SANITIZE_ENV, raising=False)
     monkeypatch.delenv(OBS_ENV, raising=False)
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    has_vector = vector_available()
     for name, (build, params, reps) in SINGLE_RUNS.items():
         # Three configs of the same point, reps interleaved so host-speed
         # drift lands on all three equally: the default path, the full
@@ -156,15 +168,40 @@ def test_sim_throughput(tmp_path, monkeypatch):
         # tests/test_runahead_equivalence.py holds the op-level traces
         # identical too). Simulated stats must not change at all.
         default = lambda b=build, p=params: run_workload(b, 8, **p)  # noqa: E731
-        (wall, slow_wall, stepped_wall), (result, slow_result, stepped_result) \
-            = _interleaved_best_of(reps, [
-                default,
-                _with_env(NO_FASTPATH_ENV, default),
-                _with_env(NO_RUNAHEAD_ENV, default),
-            ])
+        vector = lambda b=build, p=params: run_workload(  # noqa: E731
+            b, 8, backend="vector", **p)
+        fns = [
+            default,
+            _with_env(NO_FASTPATH_ENV, default),
+            _with_env(NO_RUNAHEAD_ENV, default),
+        ]
+        if has_vector:
+            # Fourth leg of the same interleaved A/B: the vector engine
+            # backend on the identical point.
+            fns.append(vector)
+        walls, results = _interleaved_best_of(reps, fns)
+        wall, slow_wall, stepped_wall = walls[:3]
+        result, slow_result, stepped_result = results[:3]
         ops_per_sec = result.stats.instructions / wall
         assert ops_per_sec > 0
         report["single_run_ops_per_sec"][name] = round(ops_per_sec)
+
+        if has_vector:
+            vec_wall, vec_result = walls[3], results[3]
+            # The backend is a host-side optimization only: simulated
+            # results must be bit-identical before the ratio means
+            # anything.
+            assert vec_result.cycles == result.cycles
+            assert vec_result.stats.comparable() == result.stats.comparable()
+            assert vec_result.stats.host_vector_epochs > 0
+            vec_ops_per_sec = vec_result.stats.instructions / vec_wall
+            report["single_run_ops_per_sec_vector"][name] = \
+                round(vec_ops_per_sec)
+            report["backend_ab"][name] = {
+                "interp_ops_per_sec": round(ops_per_sec),
+                "vector_ops_per_sec": round(vec_ops_per_sec),
+                "speedup": round(wall / vec_wall, 3),
+            }
 
         # ``hit_rate`` is None ("disabled") only when no attempt was
         # made; a run the adaptive gate turned off mid-way still reports

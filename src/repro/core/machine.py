@@ -61,9 +61,20 @@ class Machine:
     def __init__(self, config: Optional[SystemConfig] = None,
                  virtualize_labels: bool = False,
                  sanitize: Optional[bool] = None,
-                 observe: Optional[bool] = None):
+                 observe: Optional[bool] = None,
+                 backend: Optional[str] = None):
         self.config = config if config is not None else SystemConfig()
+        # Engine backend ("interp" or "vector"). Like ``sanitize`` and
+        # ``observe`` this is not a SystemConfig field — backends are
+        # bit-identical in simulated behaviour, so the backend must not
+        # perturb config fingerprints; the harness carries it on PointSpec
+        # instead (where it *is* part of the cache fingerprint, because
+        # cached results record which backend produced them). None defers
+        # to REPRO_BACKEND, then to the interpreted default.
+        from ..sim import vector
+        self.backend = vector.resolve_backend(backend)
         self.stats = Stats(num_cores=self.config.num_cores)
+        self.stats.host_backend = self.backend
         from ..sim.trace import Tracer
         self.tracer = Tracer(enabled=self.config.trace_enabled)
         self.rng = RngStreams(self.config.seed)
@@ -195,7 +206,11 @@ class Machine:
                 "a Machine can only run once; build a fresh one per run"
             )
         self._ran = True
-        engine = Engine(self, bodies)
+        if self.backend == "vector":
+            from ..sim.vector.engine import VectorEngine
+            engine = VectorEngine(self, bodies)
+        else:
+            engine = Engine(self, bodies)
         engine.run()
         if self.obs is not None:
             self.obs.recorder.close_open_spans()

@@ -82,6 +82,14 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write per-line/per-label hot-line metrics "
                              "JSON. Implies REPRO_OBS=1 and --no-cache")
+    parser.add_argument("--backend", choices=["interp", "vector"],
+                        default=None,
+                        help="engine backend: the per-op interpreted "
+                             "engine (interp, default) or the numpy-backed "
+                             "epoch engine (vector; requires the [vector] "
+                             "extra). Equivalent to REPRO_BACKEND. Cached "
+                             "results are per-backend, so the cache stays "
+                             "usable")
     parser.add_argument("--sanitize", action="store_true",
                         help="check MESI+U coherence invariants after "
                              "every memory operation (slow; equivalent "
@@ -107,6 +115,17 @@ def main(argv=None) -> int:
         handler.setFormatter(logging.Formatter("[harness] %(message)s"))
         harness_log.addHandler(handler)
         harness_log.setLevel(logging.INFO)
+
+    if args.backend:
+        # Resolved into every PointSpec by make_spec (and therefore into
+        # dedupe keys and cache fingerprints), so unlike --sanitize the
+        # cache stays valid: vector and interp points are distinct entries.
+        # Setting the env var (rather than threading an argument through
+        # the experiment registry) also covers any Machine an experiment
+        # builds directly.
+        from ..sim.vector import BACKEND_ENV
+
+        os.environ[BACKEND_ENV] = args.backend
 
     if args.sanitize:
         # Worker pools inherit the environment, so the flag reaches every

@@ -113,6 +113,12 @@ class PointSpec:
     base_config: Optional[SystemConfig] = None
     verify: bool = True
     params: Tuple[Tuple[str, object], ...] = ()
+    #: Effective engine backend ("interp" or "vector"). Always resolved at
+    #: spec creation (:func:`make_spec`), never None in a built spec, so an
+    #: env-selected backend lands in the canonical form — and therefore in
+    #: the result-cache fingerprint — and so pool workers run the backend
+    #: the parent resolved, whatever their own environment says.
+    backend: str = "interp"
 
     def canonical(self) -> str:
         """Deterministic textual form: dedupe key and cache-fingerprint
@@ -128,7 +134,7 @@ class PointSpec:
             f"|cores={self.num_cores}|commtm={self.commtm}"
             f"|gather={self.gather}|seed={self.seed}"
             f"|verify={self.verify}|config={config_repr}"
-            f"|params={param_repr}"
+            f"|params={param_repr}|backend={self.backend}"
         )
 
 
@@ -136,8 +142,17 @@ def make_spec(build: Callable, num_threads: int, *,
               num_cores: int = 128, commtm: Optional[bool] = None,
               gather: Optional[bool] = None, seed: int = 1,
               base_config: Optional[SystemConfig] = None,
-              verify: bool = True, **params) -> PointSpec:
-    """Spec for one :func:`run_workload`-style invocation."""
+              verify: bool = True, backend: Optional[str] = None,
+              **params) -> PointSpec:
+    """Spec for one :func:`run_workload`-style invocation.
+
+    The backend is resolved *here* (explicit argument beats
+    ``REPRO_BACKEND`` beats the interpreted default), so the spec — and
+    with it the dedupe key and the result-cache fingerprint — always names
+    the engine that will actually run the point.
+    """
+    from ..sim.vector import resolve_backend
+
     return PointSpec(
         build=build_path(build),
         num_threads=num_threads,
@@ -148,6 +163,7 @@ def make_spec(build: Callable, num_threads: int, *,
         base_config=base_config,
         verify=verify,
         params=tuple(sorted(params.items())),
+        backend=resolve_backend(backend),
     )
 
 
@@ -159,6 +175,7 @@ def run_point(spec: PointSpec):
         resolve_build(spec.build), spec.num_threads,
         num_cores=spec.num_cores, commtm=spec.commtm, gather=spec.gather,
         seed=spec.seed, base_config=spec.base_config, verify=spec.verify,
+        backend=spec.backend,
         **dict(spec.params),
     )
 

@@ -83,10 +83,14 @@ def run_workload(build: Callable, num_threads: int, *,
                  num_cores: int = 128, commtm: Optional[bool] = None,
                  gather: Optional[bool] = None, seed: int = 1,
                  base_config: Optional[SystemConfig] = None,
-                 verify: bool = True, **params) -> ExperimentResult:
-    """Build and run one workload configuration on a fresh machine."""
+                 verify: bool = True, backend: Optional[str] = None,
+                 **params) -> ExperimentResult:
+    """Build and run one workload configuration on a fresh machine.
+
+    ``backend`` of None defers to ``REPRO_BACKEND``, then the interpreted
+    default (see :func:`repro.sim.vector.resolve_backend`)."""
     config = _make_config(num_cores, commtm, gather, seed, base_config)
-    machine = Machine(config)
+    machine = Machine(config, backend=backend)
     built = build(machine, num_threads, **params)
     return run_built(machine, built, verify=verify)
 

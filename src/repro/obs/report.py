@@ -37,6 +37,16 @@ def per_label_table(stats) -> Dict[str, dict]:
     }
 
 
+def _rate(value, digits: int, none=None):
+    """Round a host rate for the report, passing through the non-numeric
+    forms (``None`` -> ``none``, "n/a (vector)" unchanged)."""
+    if value is None:
+        return none
+    if isinstance(value, str):
+        return value
+    return round(value, digits)
+
+
 def point_report(result) -> dict:
     """One sweep point (an ``ExperimentResult``) as a plain JSON dict."""
     stats = result.stats
@@ -53,15 +63,15 @@ def point_report(result) -> dict:
         # Host-simulator internals (excluded from Stats.comparable()):
         # fastpath_hit_rate is None when no fast path was attempted, which
         # the report spells "disabled" to keep the JSON self-describing.
+        # Under the vector backend both rate properties return the string
+        # "n/a (vector)", which passes through unrounded.
         "host": {
-            "fastpath_hit_rate": (
-                "disabled" if stats.fastpath_hit_rate is None
-                else round(stats.fastpath_hit_rate, 4)),
+            "backend": stats.host_backend,
+            "fastpath_hit_rate": _rate(stats.fastpath_hit_rate, 4,
+                                       none="disabled"),
             "fastpath_gated": stats.host_fastpath_gated,
             "runahead_batches": stats.host_runahead_batches,
-            "runahead_ops_per_batch": (
-                None if stats.runahead_ops_per_batch is None
-                else round(stats.runahead_ops_per_batch, 3)),
+            "runahead_ops_per_batch": _rate(stats.runahead_ops_per_batch, 3),
         },
     }
     obs = result.info.get("obs") if isinstance(result.info, dict) else None

@@ -125,6 +125,13 @@ class ThreadRunner:
     #: bound method replaces a four-hop attribute chain. None when the
     #: thread has finished (frames empty).
     send: object = None
+    #: Op already pulled from the generator but not yet executed (or the
+    #: ``_FINISHED`` sentinel, with the StopIteration value in
+    #: ``pulled_value``). Only the vector backend's epoch certification
+    #: sets these; consuming a pulled op before resuming the generator
+    #: preserves the consume-before-resume contract exactly.
+    pulled: object = None
+    pulled_value: object = None
 
 
 class Engine:

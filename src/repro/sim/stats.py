@@ -118,6 +118,16 @@ class Stats:
     #: Top-K hottest lines from the obs layer's metrics registry (empty
     #: unless the run observed; see :mod:`repro.obs`).
     host_hot_lines: List[dict] = field(default_factory=list)
+    #: Which engine backend produced this run ("interp" or "vector").
+    #: ``host_`` prefix on purpose: backends are bit-identical in simulated
+    #: behaviour, so the backend name must not enter :meth:`comparable`.
+    host_backend: str = "interp"
+    #: Vectorized epochs executed by the vector backend (0 under interp).
+    host_vector_epochs: int = 0
+    #: Simulated operations executed inside vectorized epochs.
+    host_vector_epoch_ops: int = 0
+    #: Whole transactions executed closed-form via the fused-plan path.
+    host_vector_fused_txs: int = 0
 
     def __post_init__(self) -> None:
         if self.num_cores and not self.breakdown:
@@ -180,19 +190,30 @@ class Stats:
         return self.aborts / attempts if attempts else 0.0
 
     @property
-    def fastpath_hit_rate(self) -> Optional[float]:
+    def fastpath_hit_rate(self):
         """Fraction of fast-path *attempts* serviced by the private-hit fast
         path (host-side instrumentation). ``None`` when no attempt was made
         — fast path disabled via ``REPRO_NO_FASTPATH``, forced off by the
         obs layer, or the run was too short to attempt one — which is a
-        different situation from "enabled but never hit" (0.0)."""
+        different situation from "enabled but never hit" (0.0). Under the
+        vector backend the counters cover only the strict (per-op) phases —
+        epoch ops hit by construction and are not counted — so a ratio
+        would be misleading: the string ``"n/a (vector)"`` is returned
+        instead."""
+        if self.host_backend == "vector":
+            return "n/a (vector)"
         total = self.host_fastpath_hits + self.host_fastpath_misses
         return self.host_fastpath_hits / total if total else None
 
     @property
-    def runahead_ops_per_batch(self) -> Optional[float]:
+    def runahead_ops_per_batch(self):
         """Mean simulated steps per run-ahead scheduling quantum; ``None``
-        under the stepped reference scheduler (``REPRO_NO_RUNAHEAD=1``)."""
+        under the stepped reference scheduler (``REPRO_NO_RUNAHEAD=1``).
+        Under the vector backend the quanta interleave with vectorized
+        epochs, so the mean no longer describes the run: the string
+        ``"n/a (vector)"`` is returned instead."""
+        if self.host_backend == "vector":
+            return "n/a (vector)"
         if self.host_runahead_batches == 0:
             return None
         return self.host_runahead_ops / self.host_runahead_batches

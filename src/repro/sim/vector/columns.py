@@ -1,0 +1,67 @@
+"""Per-core statistic columns for the vector backend's epoch path.
+
+During an epoch the wave loop may execute thousands of operations without
+ever touching the shared :class:`~repro.sim.stats.Stats` object: each
+operation bumps a per-core slot in one of these columns instead. At the
+epoch boundary the columns are lowered to int64 ndarrays and reduced with
+numpy — scalar totals via array sums, per-core cycle-breakdown merges via
+a nonzero mask — into the ordinary Stats fields, so the oracle
+(``Stats.comparable()``) sees exactly the numbers the interpreted engine
+would have produced.
+
+The hot-path accumulators are plain Python lists on purpose: a scalar
+indexed add on an ndarray costs more in CPython than the same add on a
+list, so ndarray accumulators would make the wave loop slower than the
+interpreter it replaces. The arrays (and the win) live at the flush
+boundary, where whole columns reduce at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EpochColumns:
+    """Column-per-statistic, slot-per-core accumulators with a numpy flush."""
+
+    __slots__ = ("num_cores", "instructions", "labeled", "non_tx_cycles",
+                 "tx_cycles", "commits", "by_label")
+
+    def __init__(self, num_cores: int):
+        self.num_cores = num_cores
+        self.instructions = [0] * num_cores
+        self.labeled = [0] * num_cores
+        self.non_tx_cycles = [0] * num_cores
+        self.tx_cycles = [0] * num_cores
+        self.commits = [0] * num_cores
+        #: label name -> labeled-op count (order-insensitive Counter merge).
+        self.by_label: dict = {}
+
+    def flush(self, stats) -> None:
+        """Reduce every column into ``stats`` and reset."""
+        n = self.num_cores
+        instr = np.asarray(self.instructions, dtype=np.int64)
+        labeled = np.asarray(self.labeled, dtype=np.int64)
+        non_tx = np.asarray(self.non_tx_cycles, dtype=np.int64)
+        tx = np.asarray(self.tx_cycles, dtype=np.int64)
+        commits = np.asarray(self.commits, dtype=np.int64)
+
+        stats.instructions += int(instr.sum())
+        stats.labeled_instructions += int(labeled.sum())
+        stats.commits += int(commits.sum())
+
+        breakdown = stats.breakdown
+        for core in np.nonzero((non_tx != 0) | (tx != 0))[0]:
+            entry = breakdown[core]
+            entry.non_tx += int(non_tx[core])
+            entry.tx_committed += int(tx[core])
+
+        if self.by_label:
+            stats.labeled_by_label.update(self.by_label)
+            self.by_label = {}
+
+        self.instructions = [0] * n
+        self.labeled = [0] * n
+        self.non_tx_cycles = [0] * n
+        self.tx_cycles = [0] * n
+        self.commits = [0] * n

@@ -1,0 +1,691 @@
+"""VectorEngine: epoch-batched execution with per-op interpreted fallback.
+
+The interpreted engine advances one core by one operation per scheduler
+step, paying the full dispatch/handler/heap machinery each time even when
+the operation is a guaranteed private-cache hit. This engine alternates
+between two phases:
+
+**Fence-bounded epochs** (:meth:`VectorEngine._run_epoch`). Every live,
+unblocked core's pulled operation is classified: *local* operations —
+think time, a private-hit load/store, a labeled update on this core's own
+M/E/U line, a whole transaction fusible through :mod:`.kernels` — enter a
+private min-start heap; everything else (a miss, a barrier, a transaction
+restart, thread completion) becomes a *fence* at its start time. The
+epoch then pops the heap and executes every local operation starting
+strictly before the earliest fence; after each execution the core pulls
+and classifies its next operation, re-entering the heap (so one core
+chains through a whole local region) or lowering the fence. Statistics
+land in per-core columns
+(:class:`~repro.sim.vector.columns.EpochColumns`) that numpy reduces into
+the ordinary ``Stats`` fields when the run completes.
+
+*Why the interleaving is bit-identical to strict min-clock order*: local
+operations touch only their own core's private cache (plus additive
+global counters), so local operations commute with each other — only
+their multiset matters, and that is exactly the set the strict scheduler
+would execute before reaching the earliest fenced event. A fence
+discovered mid-epoch sits at ``t + d`` of an operation just executed
+with duration ``d >= 1`` — strictly after every operation executed so
+far (heap pops are monotone in start time) — so it never invalidates
+completed work; a tie between a local operation and a fence is never
+executed (strict ``t < fence``), because the strict scheduler's
+``(stamp, core)`` tie-break could order the fenced event first.
+Durations are exact by construction: a classified operation's latency
+depends only on this core's cache state, which no other core can change
+during an epoch. Zero-duration operations (``Work(0)``) are never
+classified local — their ``t + d`` would not move past a tie — and fall
+to the strict phase instead.
+
+**Strict phases** (:meth:`VectorEngine._strict_stepper`). An exact clone of
+``Engine._run_runahead`` — same heap, same ``(stamp, core)`` tie-break,
+same stale-entry requeue — extended to (a) consume operations the epoch
+certification pulled but did not execute, (b) discard a pulled operation
+when its transaction aborts (replay re-creates it), and (c) stop after an
+operation budget so the engine can re-attempt an epoch. The budget starts
+small and doubles every time an epoch attempt fails, so irregular regions
+(conflicts, barriers, reductions) degrade gracefully toward plain
+run-ahead execution instead of thrashing on failed certifications.
+
+Epochs batch per-op work, so anything that must see every operation —
+the coherence sanitizer, the obs layer, the Perfetto tracer, the
+``REPRO_NO_FASTPATH`` / ``REPRO_NO_RUNAHEAD`` reference modes, lazy
+conflict detection — forces the whole run down the interpreted engine,
+with a logged notice (never a silently unchecked epoch).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from ...coherence.states import State
+from ...runtime.ops import (
+    Atomic,
+    Load,
+    LabeledLoad,
+    LabeledStore,
+    LoadGather,
+    Store,
+    Work,
+)
+from ..engine import (
+    _FINISHED,
+    Engine,
+    Frame,
+    NO_FASTPATH_ENV,
+    NO_RUNAHEAD_ENV,
+    fastpath_enabled,
+    runahead_enabled,
+)
+from . import log
+from .columns import EpochColumns
+from .kernels import lower_atomic
+
+_M = State.M
+_E = State.E
+_S = State.S
+_U = State.U
+
+# Operation kinds a classified record can carry. Conventional routes of
+# LabeledLoad/LabeledStore/LoadGather (baseline HTM, labels disabled) also
+# classify as K_LOAD/K_STORE — no labeled counts, mirroring the engine.
+# K_BEGIN/K_COMMIT bracket *interpreted* transactions run inside an epoch:
+# begin draws its timestamp in heap-pop (= strict) order, commit is
+# core-local under eager conflict detection.
+K_WORK = 0
+K_FUSED = 1
+K_LOAD = 2
+K_STORE = 3
+K_LLOAD = 4
+K_LSTORE = 5
+K_BEGIN = 6
+K_COMMIT = 7
+
+# Strict-phase op budget between epoch attempts: doubles while epoch
+# attempts keep yielding nothing (irregular region), shrinks back toward
+# the minimum when epochs are productive. Small minimum on purpose: an
+# epoch usually ends at one fenced event (a single miss or barrier
+# arrival), so a large strict quantum would overshoot it and interpret
+# work the next epoch could have batched.
+_MIN_BURST = 8
+_MAX_BURST = 4096
+
+
+class VectorEngine(Engine):
+    """Engine backend ``"vector"``: wavefront epochs + strict fallback."""
+
+    def __init__(self, machine, bodies):
+        super().__init__(machine, bodies)
+        msys = self.msys
+        self._caches = msys.caches
+        self._l1_lat = msys._l1_latency
+        self._l12_lat = msys._l12_latency
+        self._fused_base = self._tx_begin_cycles + self._tx_commit_cycles
+        #: Commits may execute inside epochs only with a nonzero latency:
+        #: a zero-duration event could tie with a fenced one at the same
+        #: cycle, where the strict tie-break might order the fence first.
+        self._commit_local = self._tx_commit_cycles >= 1
+        self._cols = EpochColumns(self.config.num_cores)
+        #: Per-epoch memo of validated fused targets:
+        #: (core, line, label, idx0, n) -> CacheLine.
+        self._fused_ok: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def _epochs_disabled_reason(self) -> Optional[str]:
+        machine = self.machine
+        if getattr(machine, "sanitizer", None) is not None:
+            return "coherence sanitizer installed (REPRO_SANITIZE)"
+        if self._obs is not None:
+            return "observer installed (REPRO_OBS)"
+        if self._tracing:
+            return "tracing enabled"
+        if not fastpath_enabled():
+            return f"{NO_FASTPATH_ENV} set"
+        if not runahead_enabled():
+            return f"{NO_RUNAHEAD_ENV} set"
+        if not self._eager:
+            return "lazy conflict detection"
+        return None
+
+    def run(self) -> None:
+        reason = self._epochs_disabled_reason()
+        if reason is not None:
+            # Epochs batch per-op work; per-op layers (sanitizer, obs,
+            # tracer, the reference escape hatches) must see every
+            # operation, so the whole run goes through the interpreted
+            # engine rather than producing unchecked epochs.
+            log.info("vector backend: %s; running per-op via the "
+                     "interpreted engine", reason)
+            super().run()
+            return
+        self._run_vector()
+        if not self.clocks.all_finished():
+            from ...errors import SimulationError
+            raise SimulationError("no runnable core but simulation not finished")
+        self.stats.parallel_cycles = self.clocks.max_cycle
+
+    def _run_vector(self) -> None:
+        burst = _MIN_BURST
+        strict = self._strict_stepper()
+        next(strict)  # prime: bind the hot locals, park at the first yield
+        try:
+            while True:
+                n = self._run_epoch()
+                if n == 0:
+                    burst = min(burst * 2, _MAX_BURST)
+                elif n >= burst:
+                    burst = _MIN_BURST
+                else:
+                    burst = max(_MIN_BURST, burst // 2)
+                if not strict.send(burst):
+                    break
+        finally:
+            strict.close()  # run its ``finally`` so host counters land
+            # One deferred flush: nothing reads the columns' Stats fields
+            # mid-run, so per-epoch flushes would only add numpy overhead
+            # to short epochs.
+            self._cols.flush(self.stats)
+
+    # ------------------------------------------------------------------
+    # Epoch phase
+    # ------------------------------------------------------------------
+
+    def _run_epoch(self) -> int:
+        """Attempt one epoch; returns the number of operations executed
+        (0 when nothing classified local). Operations pulled but not
+        executed stay in ``runner.pulled`` for the strict phase.
+
+        Cores whose next event is *not* local — a miss, a barrier, a
+        transaction restart, thread completion — do not park the whole
+        epoch: they become *fences* at their event's start time. The
+        epoch executes, in min-start order off a private heap, every
+        local operation starting strictly before the earliest fence —
+        exactly the set the strict scheduler would run before reaching
+        the fenced event. A core whose operation executes immediately
+        pulls and classifies its next one, so a core chains through
+        whole local regions in one epoch. A fence discovered mid-epoch
+        is always at ``t + d`` of an op just executed, hence *strictly
+        after* every op executed so far (durations are >= 1), so it
+        never invalidates anything already done; ties between a local
+        op and a fence never execute (strict ``t < fence``), because
+        the strict scheduler could order the fenced event first."""
+        tx_active = self._tx_active
+        done = self.clocks._done
+        cycles = self._cycles
+        finished = _FINISHED
+        classify = self._classify
+        self._fused_ok.clear()
+
+        heap: List[list] = []  # [start, core, rec] — min-start order
+        fence = None  # earliest start among held non-local events
+        for runner in self.runners:
+            if runner is None:
+                continue
+            core = runner.core
+            if done[core] or runner.blocked:
+                continue
+            tx = tx_active[core]
+            t = cycles[core]
+            if tx is not None and tx.aborted:
+                # Restart (backoff rng draw included) is strict-phase
+                # work; do not resume the doomed generator.
+                if fence is None or t < fence:
+                    fence = t
+                continue
+            op = runner.pulled
+            if op is None:
+                value = runner.pending_value
+                runner.pending_value = None
+                while True:
+                    try:
+                        op = runner.send(value)
+                    except StopIteration as stop:
+                        frames = runner.frames
+                        if len(frames) > 1 and not frames[-1].is_tx_root:
+                            # Plain nested generator: popping it is free
+                            # and invisible to every other core.
+                            frames.pop()
+                            runner.send = frames[-1].gen.send
+                            value = stop.value
+                            continue
+                        runner.pulled = op = finished
+                        runner.pulled_value = stop.value
+                    break
+                if op is not finished:
+                    runner.pulled = op
+            if op is finished:
+                # A pending frame-finish: an inline-committable tx root
+                # becomes a K_COMMIT record (the commit is a core-local
+                # event lasting tx_commit_cycles); thread completion and
+                # anything irregular stay strict-phase work.
+                frames = runner.frames
+                if (self._commit_local and len(frames) > 1
+                        and frames[-1].is_tx_root
+                        and tx is not None and not tx.aborted
+                        and not tx.lazy_written):
+                    heap.append([t, core,
+                                 [runner, core, self._tx_commit_cycles,
+                                  K_COMMIT, None, runner.pulled_value, tx]])
+                elif fence is None or t < fence:
+                    fence = t
+                continue
+            rec = classify(runner, op, tx)
+            if rec is None:
+                if fence is None or t < fence:
+                    fence = t
+                continue
+            heap.append([t, core, rec])
+        if not heap:
+            return 0
+        heapq.heapify(heap)
+
+        cols = self._cols
+        instr_col = cols.instructions
+        labeled_col = cols.labeled
+        non_tx_col = cols.non_tx_cycles
+        tx_col = cols.tx_cycles
+        commits_col = cols.commits
+        by_label = cols.by_label
+        breakdown = self._breakdown
+        htm = self.htm
+        fast_load = self._fast_load
+        fast_store = self._fast_store
+        fast_lload = self._fast_labeled_load
+        fast_lstore = self._fast_labeled_store
+
+        epoch_ops = 0
+        fused_txs = 0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+
+        while heap:
+            item = heappop(heap)
+            t = item[0]
+            if fence is not None and t >= fence:
+                # The minimum held start reached the fence: everything
+                # still on the heap starts at or past it too. Hold the
+                # lot (ops stay in runner.pulled) and let the strict
+                # phase run the fenced event first.
+                break
+            rec = item[2]
+            runner, core, dur, kind, op, data, tx = rec
+
+            # --- execute the held op ------------------------------------
+            if kind == K_WORK:
+                instr_col[core] += dur
+                if tx is None:
+                    non_tx_col[core] += dur
+                else:
+                    breakdown[core].tx_committed += dur
+                    tx.cycles_this_attempt += dur
+            elif kind == K_FUSED:
+                entry, idx0, deltas, label_name, ret = data
+                self._caches[core].touch(entry.line)
+                entry.words = words = list(entry.words)
+                j = idx0
+                for d in deltas:
+                    words[j] += d
+                    j += 1
+                entry.dirty = True
+                if entry.state is _E:
+                    entry.state = _M
+                htm._next_ts += 1
+                n2 = 2 * len(deltas)
+                instr_col[core] += n2
+                labeled_col[core] += n2
+                by_label[label_name] = by_label.get(label_name, 0) + n2
+                commits_col[core] += 1
+                tx_col[core] += dur
+                fused_txs += 1
+                runner.pending_value = ret
+            elif kind == K_BEGIN:
+                # Clone of _op_atomic's outermost branch (tracing and obs
+                # are off whenever epochs run). The timestamp draw happens
+                # here, in heap-pop order — the strict scheduler's order.
+                tx = htm.begin(core, ts=op.ts)
+                breakdown[core].tx_committed += dur
+                tx.cycles_this_attempt += dur
+                gen = op.fn(runner.ctx, *op.args)
+                runner.frames.append(Frame(gen, op, True))
+                runner.send = gen.send
+            elif kind == K_COMMIT:
+                if tx.aborted or tx.lazy_written:  # defensive: hold it
+                    break
+                # Clone of _finish_frame's commit path (obs and tracing
+                # off; eager detection, so no lazy publication).
+                frames = runner.frames
+                frames.pop()
+                runner.send = frames[-1].gen.send
+                htm.commit(core)
+                breakdown[core].tx_committed += dur
+                runner.pending_value = data  # the frame's StopIteration value
+                tx = None
+            else:
+                spec = tx is not None
+                if kind == K_LOAD:
+                    fast = fast_load(core, op.addr, spec)
+                elif kind == K_STORE:
+                    fast = fast_store(core, op.addr, op.value, spec)
+                elif kind == K_LLOAD:
+                    fast = fast_lload(core, op.addr, op.label, spec)
+                else:
+                    fast = fast_lstore(core, op.addr, op.label,
+                                       op.value, spec)
+                if fast is None:
+                    # Classification guarantees a hit; if the protocol
+                    # disagrees, hold the op (still in runner.pulled) and
+                    # end the epoch: everything left on the heap starts
+                    # at or after this op, so nothing else may run first.
+                    break
+                if kind == K_LOAD or kind == K_LLOAD:
+                    value, dur = fast
+                    runner.pending_value = value
+                else:
+                    dur = fast
+                instr_col[core] += 1
+                if kind == K_LLOAD or kind == K_LSTORE:
+                    labeled_col[core] += 1
+                    name = op.label.name
+                    by_label[name] = by_label.get(name, 0) + 1
+                if tx is None:
+                    non_tx_col[core] += dur
+                else:
+                    breakdown[core].tx_committed += dur
+                    tx.cycles_this_attempt += dur
+            nt = t + dur
+            cycles[core] = nt
+            runner.pulled = None
+            epoch_ops += 1
+
+            # --- pull and classify this core's next op ------------------
+            # A non-local pull fences this core at its new time
+            # t + dur > t, strictly after everything already executed.
+            value = runner.pending_value
+            runner.pending_value = None
+            nop = None
+            while True:
+                try:
+                    nop = runner.send(value)
+                except StopIteration as stop:
+                    frames = runner.frames
+                    if len(frames) > 1 and not frames[-1].is_tx_root:
+                        # Plain nested generator: free, invisible pop.
+                        frames.pop()
+                        runner.send = frames[-1].gen.send
+                        value = stop.value
+                        continue
+                    runner.pulled = finished
+                    runner.pulled_value = stop.value
+                    if (self._commit_local and len(frames) > 1
+                            and tx is not None
+                            and not tx.aborted and not tx.lazy_written):
+                        # Tx commit: core-local event at nt lasting
+                        # tx_commit_cycles — re-enters the heap so the
+                        # fence check orders it like any other op.
+                        item[0] = nt
+                        item[2] = [runner, core, self._tx_commit_cycles,
+                                   K_COMMIT, None, stop.value, tx]
+                        heappush(heap, item)
+                    elif fence is None or nt < fence:
+                        fence = nt
+                break
+            if nop is None:
+                continue
+            runner.pulled = nop
+            if kind == K_FUSED and nop is op and nop.args is op.args:
+                # Hoisted Atomic re-yielded unchanged (e.g. counter's
+                # add_one): the plan and its validated target are still
+                # exact, skip re-lowering. Never done for Work/memory
+                # ops — their shuttles mutate in place between yields.
+                item[0] = nt
+                heappush(heap, item)
+                continue
+            nrec = classify(runner, nop, tx)
+            if nrec is None:
+                if fence is None or nt < fence:
+                    fence = nt
+                continue
+            item[0] = nt
+            item[2] = nrec
+            heappush(heap, item)
+
+        if epoch_ops:
+            stats = self.stats
+            stats.host_vector_epochs += 1
+            stats.host_vector_epoch_ops += epoch_ops
+            stats.host_vector_fused_txs += fused_txs
+        return epoch_ops
+
+    # ------------------------------------------------------------------
+
+    def _classify(self, runner, op, tx) -> Optional[list]:
+        """Classify one held op as epoch-local, returning a record
+        ``[runner, core, duration, kind, op, data, tx]`` with the *exact*
+        latency the op will charge, or None to park the epoch.
+
+        This is a non-mutating mirror of the engine's routing rules plus
+        the fast-path state checks in ``coherence/protocol.py``: only ops
+        those fast paths would certainly service (and that cannot insert
+        into the L1 while a transaction is active, so the LRU touch cannot
+        self-abort) classify as local. Latency is precomputed from L1
+        residency, which only this core can change before execution."""
+        core = runner.core
+        cls = op.__class__
+        if cls is Work:
+            dur = op.cycles
+            if dur < 1:  # Work(0) could tie with a held op at exactly G
+                return None
+            return [runner, core, dur, K_WORK, op, None, tx]
+
+        if cls is Atomic:
+            if tx is not None:
+                return None  # closed nesting pushes a zero-cost frame
+            if self._commtm:
+                plan = lower_atomic(op)
+                if plan is not None:
+                    deltas = plan.deltas
+                    n = len(deltas)
+                    key = (core, plan.line, plan.label, plan.idx0, n)
+                    entry = self._fused_ok.get(key)
+                    if entry is None:
+                        entry = self._validate_fused(core, plan, n)
+                    if entry is not None:
+                        self._fused_ok[key] = entry
+                        dur = self._fused_base + 2 * n * self._l1_lat
+                        data = (entry, plan.idx0, deltas, plan.label.name,
+                                plan.value)
+                        return [runner, core, dur, K_FUSED, op, data, None]
+            # Not fusible (no lowering, or the target line is not a
+            # private hit yet): run the transaction *interpreted inside
+            # the epoch*. The begin itself is local — it charges
+            # tx_begin_cycles and draws its timestamp in heap-pop order,
+            # which is exactly the strict scheduler's draw order.
+            dur = self._tx_begin_cycles
+            if dur < 1:
+                return None
+            return [runner, core, dur, K_BEGIN, op, None, None]
+
+        labeled = (self._commtm
+                   and not (tx is not None and tx.labels_disabled))
+        if cls is Load:
+            kind = K_LOAD
+        elif cls is Store:
+            kind = K_STORE
+        elif cls is LabeledLoad:
+            kind = K_LLOAD if labeled else K_LOAD
+        elif cls is LabeledStore:
+            kind = K_LSTORE if labeled else K_STORE
+        elif cls is LoadGather:
+            if labeled:
+                return None  # gathers always take the full protocol path
+            kind = K_LOAD
+        else:
+            return None  # Barrier, OrderedAtomic, unknown ops
+
+        addr = op.addr
+        if addr % 8:
+            return None  # misaligned: slow path raises
+        cache = self._caches[core]
+        entry = cache.peek_line(addr // 64)
+        if entry is None:
+            return None
+        st = entry.state
+        if kind == K_LOAD:
+            if st is not _M and st is not _E and st is not _S:
+                return None
+        elif kind == K_STORE:
+            if st is not _M and st is not _E:
+                return None
+        else:  # K_LLOAD / K_LSTORE
+            if not (st is _M or st is _E
+                    or (st is _U and entry.label is op.label)):
+                return None
+        if entry.line in cache._l1:
+            dur = self._l1_lat
+        elif tx is not None:
+            # The touch would insert into the L1 and could evict a
+            # speculative line, aborting this core's own transaction —
+            # only the full path may take that step.
+            return None
+        else:
+            dur = self._l12_lat
+        return [runner, core, dur, kind, op, None, tx]
+
+    def _validate_fused(self, core: int, plan, n: int):
+        """Check a FusedPlan against this core's cache: line present and
+        L1-resident (the fused charge is all L1 hits, and no insertion
+        means no eviction), stable state, no speculative residue, and the
+        word run in bounds. Returns the CacheLine or None."""
+        cache = self._caches[core]
+        entry = cache.peek_line(plan.line)
+        if entry is None or plan.line not in cache._l1:
+            return None
+        st = entry.state
+        if not (st is _M or st is _E
+                or (st is _U and entry.label is plan.label)):
+            return None
+        if (entry.clean_words is not None or entry.spec_read
+                or entry.spec_written or entry.spec_labeled):
+            return None
+        if plan.idx0 < 0 or plan.idx0 + n > len(entry.words):
+            return None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Strict phase
+    # ------------------------------------------------------------------
+
+    def _strict_stepper(self):
+        """Generator clone of ``Engine._run_runahead`` with three
+        extensions: pulled ops (held by a failed epoch certification) are
+        consumed before the generator is resumed; a pulled op is discarded
+        when its transaction aborted (replay re-creates it); and the loop
+        yields after a caller-supplied op budget so the engine can
+        re-attempt an epoch. ``send(budget)`` runs up to ``budget`` ops
+        and yields True while work remains, False when the ready heap
+        drained. A generator rather than a method so the three dozen hot
+        local bindings happen once per run, not once per burst."""
+        clocks = self.clocks
+        heap = clocks._heap
+        done = clocks._done
+        cycles = self._cycles
+        runners = self.runners
+        tx_active = self._tx_active
+        handlers = self._handlers
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        heappush = heapq.heappush
+        finished = _FINISHED
+        batches = 0
+        ops = 0
+        spent = 0
+
+        budget = yield None  # primed by next(); first send() starts work
+        try:
+            while True:
+                if not heap:
+                    budget = yield False
+                    continue
+                stamp, core = heappop(heap)
+                while True:
+                    if done[core]:
+                        if not heap:
+                            break  # outer loop reports the drain
+                        stamp, core = heappop(heap)
+                        continue
+                    c = cycles[core]
+                    if stamp < c:
+                        # Stale entry (core was charged since being queued
+                        # — including by an epoch); requeue at its true
+                        # time.
+                        if heap:
+                            stamp, core = heappushpop(heap, (c, core))
+                        else:
+                            stamp = c
+                        continue
+
+                    runner = runners[core]
+                    batches += 1
+                    while True:
+                        ops += 1
+                        spent += 1
+                        tx = tx_active[core]
+                        if tx is not None and tx.aborted:
+                            # A held pulled op belongs to the generator
+                            # being discarded; replay will re-yield it.
+                            runner.pulled = None
+                            runner.pulled_value = None
+                            self._restart_tx(runner, tx)
+                        else:
+                            op = runner.pulled
+                            if op is not None:
+                                runner.pulled = None
+                                if op is finished:
+                                    value = runner.pulled_value
+                                    runner.pulled_value = None
+                                    self._finish_frame(runner, value)
+                                    op = finished
+                            else:
+                                value = runner.pending_value
+                                runner.pending_value = None
+                                try:
+                                    op = runner.send(value)
+                                except StopIteration as stop:
+                                    self._finish_frame(runner, stop.value)
+                                    op = finished
+                            if op is not finished:
+                                try:
+                                    handler = handlers[op.__class__]
+                                except KeyError:
+                                    handler = self._resolve_handler(op)
+                                handler(runner, op)
+
+                        if runner.blocked or done[core]:
+                            break
+                        if spent >= budget:
+                            # Budget spent with this core still runnable:
+                            # park it back in the heap (restoring the
+                            # one-entry-per-ready-core invariant) and hand
+                            # control back for an epoch attempt.
+                            heappush(heap, (cycles[core], core))
+                            spent = 0
+                            budget = yield True
+                            runner = None  # fresh pop after the epoch
+                            break
+                        c = cycles[core]
+                        if heap:
+                            top = heap[0]
+                            if c > top[0] or (c == top[0] and core > top[1]):
+                                stamp, core = heappushpop(heap, (c, core))
+                                break
+
+                    if runner is None:
+                        break  # re-pop via the outer loop
+                    if runner.blocked or done[runner.core]:
+                        if not heap:
+                            break  # outer loop reports the drain
+                        stamp, core = heappop(heap)
+        finally:
+            self.stats.host_runahead_batches += batches
+            self.stats.host_runahead_ops += ops

@@ -1,0 +1,215 @@
+"""Backend selection, dispatch, and degradation tests for sim/vector.
+
+Parity of simulated results is proven in tests/test_vector_equivalence.py;
+this file covers the *plumbing*: how a backend is chosen (argument > env >
+default), what happens when numpy is missing (explicit request raises
+``BackendUnavailableError``, env request degrades to the interpreted
+engine with a warning), how the harness carries the backend through point
+specs and cache fingerprints, and how the host-side reporting surfaces
+change under the vector backend ("n/a (vector)" rates, host counters kept
+out of ``Stats.comparable()``).
+"""
+
+import pytest
+
+from repro import Machine
+from repro.errors import BackendUnavailableError, ConfigError
+from repro.harness.parallel import make_spec
+from repro.harness.runner import run_workload
+from repro.obs.report import _rate
+from repro.params import small_config
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+from repro.sim.vector import (BACKEND_ENV, BACKENDS, available,
+                              resolve_backend)
+from repro.workloads.micro import counter
+
+needs_numpy = pytest.mark.skipif(
+    not available(), reason="vector backend requires numpy")
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_env(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+
+
+# ---------------------------------------------------------------------------
+# resolve_backend precedence
+# ---------------------------------------------------------------------------
+
+def test_default_is_interp():
+    assert resolve_backend() == "interp"
+    assert Machine(small_config()).backend == "interp"
+
+
+@needs_numpy
+def test_explicit_argument_selects_vector():
+    assert resolve_backend("vector") == "vector"
+    assert Machine(small_config(), backend="vector").backend == "vector"
+
+
+@needs_numpy
+def test_env_selects_vector(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "vector")
+    assert resolve_backend() == "vector"
+    assert Machine(small_config()).backend == "vector"
+
+
+def test_explicit_argument_beats_env(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "vector")
+    assert resolve_backend("interp") == "interp"
+    assert Machine(small_config(), backend="interp").backend == "interp"
+
+
+def test_names_are_normalized():
+    assert resolve_backend("  INTERP ") == "interp"
+
+
+@pytest.mark.parametrize("bogus", ["jit", "numpy", "fast"])
+def test_unknown_backend_raises_config_error(bogus, monkeypatch):
+    with pytest.raises(ConfigError):
+        resolve_backend(bogus)
+    monkeypatch.setenv(BACKEND_ENV, bogus)
+    with pytest.raises(ConfigError):
+        Machine(small_config())
+
+
+# ---------------------------------------------------------------------------
+# Degradation without numpy
+# ---------------------------------------------------------------------------
+
+def test_explicit_vector_without_numpy_raises(monkeypatch):
+    monkeypatch.setattr("repro.sim.vector.available", lambda: False)
+    with pytest.raises(BackendUnavailableError):
+        resolve_backend("vector")
+    with pytest.raises(BackendUnavailableError):
+        Machine(small_config(), backend="vector")
+
+
+def test_env_vector_without_numpy_falls_back_with_warning(
+        monkeypatch, caplog):
+    monkeypatch.setattr("repro.sim.vector.available", lambda: False)
+    monkeypatch.setenv(BACKEND_ENV, "vector")
+    with caplog.at_level("WARNING", logger="repro.sim.vector"):
+        machine = Machine(small_config())
+    assert machine.backend == "interp"
+    assert machine.stats.host_backend == "interp"
+    assert any("falling back" in r.message for r in caplog.records)
+
+
+def test_backend_unavailable_is_a_config_error():
+    # Callers catching ConfigError (the harness CLI) cover both.
+    assert issubclass(BackendUnavailableError, ConfigError)
+
+
+# ---------------------------------------------------------------------------
+# Engine dispatch
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+def test_machine_run_dispatches_vector_engine(monkeypatch):
+    from repro.sim.vector.engine import VectorEngine
+    seen = []
+    orig = VectorEngine.run
+
+    def spy(self):
+        seen.append(type(self))
+        return orig(self)
+
+    monkeypatch.setattr(VectorEngine, "run", spy)
+    res = run_workload(counter.build, 2, num_cores=16, commtm=True, seed=1,
+                       backend="vector", total_ops=40)
+    assert seen == [VectorEngine]
+    assert res.stats.host_backend == "vector"
+
+
+def test_interp_run_never_touches_vector_engine():
+    res = run_workload(counter.build, 2, num_cores=16, commtm=True, seed=1,
+                       backend="interp", total_ops=40)
+    assert res.stats.host_backend == "interp"
+    assert res.stats.host_vector_epochs == 0
+    assert res.stats.host_vector_epoch_ops == 0
+    assert res.stats.host_vector_fused_txs == 0
+
+
+@needs_numpy
+def test_vector_engine_is_an_engine():
+    # The strict phases are a clone of the interpreted scheduler; keeping
+    # the subclass relationship means handler-table surgery (obs,
+    # sanitizer, fast-path gate) applies unmodified.
+    from repro.sim.vector.engine import VectorEngine
+    assert issubclass(VectorEngine, Engine)
+
+
+# ---------------------------------------------------------------------------
+# Harness plumbing: specs, fingerprints, workers
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+def test_backend_is_part_of_spec_canonical_form():
+    interp = make_spec(counter.build, 2, backend="interp", total_ops=40)
+    vector = make_spec(counter.build, 2, backend="vector", total_ops=40)
+    assert interp.backend == "interp"
+    assert vector.backend == "vector"
+    assert "backend=interp" in interp.canonical()
+    assert "backend=vector" in vector.canonical()
+    # Cached results are keyed on the canonical form: the two backends
+    # must never share a cache slot.
+    assert interp.canonical() != vector.canonical()
+
+
+@needs_numpy
+def test_make_spec_resolves_env_backend(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "vector")
+    spec = make_spec(counter.build, 2, total_ops=40)
+    # Resolved at spec creation, not left to the worker's environment.
+    assert spec.backend == "vector"
+    assert "backend=vector" in spec.canonical()
+
+
+def test_make_spec_defaults_to_interp():
+    spec = make_spec(counter.build, 2, total_ops=40)
+    assert spec.backend == "interp"
+
+
+# ---------------------------------------------------------------------------
+# Host-side reporting under the vector backend
+# ---------------------------------------------------------------------------
+
+def test_host_counters_stay_out_of_comparable():
+    stats = Stats(num_cores=2)
+    comparable = stats.comparable()
+    for key in ("host_backend", "host_vector_epochs",
+                "host_vector_epoch_ops", "host_vector_fused_txs"):
+        assert key not in comparable
+
+
+def test_rates_report_na_under_vector_backend():
+    stats = Stats(num_cores=2)
+    stats.host_backend = "vector"
+    stats.host_fastpath_hits = 10
+    stats.host_runahead_batches = 3
+    stats.host_runahead_ops = 30
+    assert stats.fastpath_hit_rate == "n/a (vector)"
+    assert stats.runahead_ops_per_batch == "n/a (vector)"
+
+
+def test_rates_still_numeric_under_interp():
+    stats = Stats(num_cores=2)
+    stats.host_fastpath_hits = 3
+    stats.host_fastpath_misses = 1
+    stats.host_runahead_batches = 2
+    stats.host_runahead_ops = 10
+    assert stats.fastpath_hit_rate == 0.75
+    assert stats.runahead_ops_per_batch == 5.0
+
+
+def test_report_rate_helper_passes_through_non_numeric():
+    assert _rate(None, 4, none="disabled") == "disabled"
+    assert _rate(None, 3) is None
+    assert _rate("n/a (vector)", 4) == "n/a (vector)"
+    assert _rate(0.123456, 4) == 0.1235
+
+
+def test_backend_names_are_closed():
+    assert BACKENDS == ("interp", "vector")

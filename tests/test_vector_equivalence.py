@@ -1,0 +1,196 @@
+"""Differential-oracle parity tests for the vector engine backend.
+
+The vector backend (``repro.sim.vector``) advances the simulation in
+fence-bounded epochs — bulk-executing provably local operations (private
+hits, think time, fused commutative transactions, interpreted tx
+begin/commit under eager detection) off a min-start heap, interleaved
+with strict per-op phases for everything else. It is a host-side
+optimization only: every simulated quantity must be *bit-identical* to
+the interpreted engine. These tests run every micro workload (plus the
+kmeans app and a randomized op mix) under both backends and compare per
+-thread cycles, ``parallel_cycles``, and the full ``Stats.comparable()``
+dict — the same differential oracle the run-ahead scheduler is held to
+in tests/test_runahead_equivalence.py.
+
+Composition is covered too: the per-op layers (coherence sanitizer, obs)
+force the vector engine to delegate whole runs to the interpreted path
+with a logged notice, so ``REPRO_SANITIZE=1``/``REPRO_OBS=1`` plus
+``backend="vector"`` must still be bit-identical *and* report zero
+epochs.
+"""
+
+import logging
+
+import pytest
+
+from repro.analysis.sanitizer import SANITIZE_ENV
+from repro.harness.runner import run_workload
+from repro.obs import OBS_ENV
+from repro.runtime.ops import BARRIER, Atomic
+from repro.sim.engine import NO_FASTPATH_ENV, NO_RUNAHEAD_ENV
+from repro.sim.vector import BACKEND_ENV, available
+from repro.workloads.apps import kmeans
+from repro.workloads.micro import (counter, linked_list, ordered_put,
+                                   refcount, topk)
+from repro.workloads.micro.common import BuiltWorkload
+
+pytestmark = pytest.mark.skipif(
+    not available(), reason="vector backend requires numpy")
+
+MICROS = {
+    "counter": counter.build,
+    "topk": topk.build,
+    "ordered_put": ordered_put.build,
+    "linked_list": linked_list.build,
+    "refcount": refcount.build,
+}
+
+
+def _run(build, *, backend, commtm, seed, monkeypatch, sanitize=False,
+         observe=False, **params):
+    # Parity must not depend on ambient escape hatches.
+    for env in (NO_RUNAHEAD_ENV, NO_FASTPATH_ENV, BACKEND_ENV):
+        monkeypatch.delenv(env, raising=False)
+    if sanitize:
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+    else:
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    if observe:
+        monkeypatch.setenv(OBS_ENV, "1")
+    else:
+        monkeypatch.delenv(OBS_ENV, raising=False)
+    params.setdefault("total_ops", 240)
+    # total_ops=None opts a build without that parameter (kmeans, the
+    # random mix) out of the micro default.
+    params = {k: v for k, v in params.items() if v is not None}
+    return run_workload(build, 4, num_cores=16, commtm=commtm, seed=seed,
+                        backend=backend, **params)
+
+
+def _assert_parity(interp, vector):
+    assert interp.cycles == vector.cycles
+    assert interp.stats.parallel_cycles == vector.stats.parallel_cycles
+    assert interp.stats.aborts == vector.stats.aborts
+    assert interp.stats.commits == vector.stats.commits
+    assert interp.stats.comparable() == vector.stats.comparable()
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+@pytest.mark.parametrize("commtm", [True, False],
+                         ids=["commtm", "baseline"])
+@pytest.mark.parametrize("name", sorted(MICROS))
+def test_vector_is_bit_identical(name, commtm, seed, monkeypatch):
+    build = MICROS[name]
+    interp = _run(build, backend="interp", commtm=commtm, seed=seed,
+                  monkeypatch=monkeypatch)
+    vector = _run(build, backend="vector", commtm=commtm, seed=seed,
+                  monkeypatch=monkeypatch)
+    _assert_parity(interp, vector)
+
+    # The backends really ran where they claim: epochs engaged on the
+    # vector side (every micro has at least one certifiable window) and
+    # never on the interpreted side.
+    assert interp.stats.host_backend == "interp"
+    assert interp.stats.host_vector_epochs == 0
+    assert vector.stats.host_backend == "vector"
+    assert vector.stats.host_vector_epochs > 0
+    assert vector.stats.host_vector_epoch_ops > 0
+
+
+def test_vector_is_bit_identical_on_kmeans(monkeypatch):
+    """The kmeans app mixes fused commutative transactions with reduction
+    resets, barriers, and first-touch misses — the densest fence profile
+    of any workload in the repo."""
+    params = dict(num_points=64, clusters=4, iterations=2, total_ops=None)
+    for commtm in (True, False):
+        interp = _run(kmeans.build, backend="interp", commtm=commtm,
+                      seed=1, monkeypatch=monkeypatch, **params)
+        vector = _run(kmeans.build, backend="vector", commtm=commtm,
+                      seed=1, monkeypatch=monkeypatch, **params)
+        _assert_parity(interp, vector)
+        assert vector.stats.host_vector_epochs > 0
+        if commtm:
+            # The accumulate transaction lowers through the fused-plan
+            # registry, so the closed form must actually fire.
+            assert vector.stats.host_vector_fused_txs > 0
+
+
+def _random_mix(machine, num_threads: int, iters: int = 60) -> BuiltWorkload:
+    """Deterministic per-thread random mixes of conventional loads,
+    private stores, variable think time, commutative transactions, and
+    barriers — irregular core clocks stress epoch certification, fence
+    placement, and strict-phase hand-off edges."""
+    from repro.datatypes.counter import SharedCounter
+
+    shared_counter = SharedCounter(machine)
+    lines = [machine.alloc.alloc_line() for _ in range(4)]
+    for addr in lines:
+        machine.seed_word(addr, 0)
+
+    def make_body(tid: int):
+        def body(ctx):
+            rng = ctx.rng
+            scratch = ctx.thread_alloc_words(1)
+            add_one = Atomic(shared_counter.add, 1)
+            for i in range(iters):
+                r = rng.random()
+                if r < 0.4:
+                    yield ctx.load(lines[rng.randrange(len(lines))])
+                elif r < 0.6:
+                    yield ctx.store(scratch, i)
+                elif r < 0.85:
+                    yield ctx.work(1 + rng.randrange(50))
+                else:
+                    yield add_one
+                if i % 20 == 10:
+                    yield BARRIER
+        return body
+
+    return BuiltWorkload(
+        name="random_mix",
+        bodies=[make_body(t) for t in range(num_threads)],
+        verify=None,
+        info={},
+    )
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("commtm", [True, False],
+                         ids=["commtm", "baseline"])
+def test_random_mix_parity(commtm, seed, monkeypatch):
+    interp = _run(_random_mix, backend="interp", commtm=commtm, seed=seed,
+                  monkeypatch=monkeypatch, total_ops=None)
+    vector = _run(_random_mix, backend="vector", commtm=commtm, seed=seed,
+                  monkeypatch=monkeypatch, total_ops=None)
+    _assert_parity(interp, vector)
+
+
+@pytest.mark.parametrize("mode", ["obs", "sanitize"])
+def test_vector_composes_with_obs_and_sanitize(mode, monkeypatch, caplog):
+    """REPRO_SANITIZE/REPRO_OBS are per-op layers: combined with the
+    vector backend the whole run must delegate to the interpreted path
+    (zero epochs), say so in the log, and stay bit-identical."""
+    kwargs = {"sanitize": mode == "sanitize", "observe": mode == "obs"}
+    interp = _run(MICROS["counter"], backend="interp", commtm=True, seed=1,
+                  monkeypatch=monkeypatch, **kwargs)
+    with caplog.at_level(logging.INFO, logger="repro.sim.vector"):
+        vector = _run(MICROS["counter"], backend="vector", commtm=True,
+                      seed=1, monkeypatch=monkeypatch, **kwargs)
+    _assert_parity(interp, vector)
+    assert vector.stats.host_backend == "vector"
+    assert vector.stats.host_vector_epochs == 0
+    assert any("interpreted engine" in r.message for r in caplog.records)
+
+
+@pytest.mark.parametrize("env", [NO_FASTPATH_ENV, NO_RUNAHEAD_ENV])
+def test_vector_respects_reference_escape_hatches(env, monkeypatch):
+    """The reference escape hatches exist to pin down the simplest
+    possible execution; the vector backend must honor them by running
+    per-op (zero epochs) and stay bit-identical doing so."""
+    interp = _run(MICROS["topk"], backend="interp", commtm=True, seed=1,
+                  monkeypatch=monkeypatch)
+    monkeypatch.setenv(env, "1")
+    vector = run_workload(MICROS["topk"], 4, num_cores=16, commtm=True,
+                          seed=1, backend="vector", total_ops=240)
+    _assert_parity(interp, vector)
+    assert vector.stats.host_vector_epochs == 0

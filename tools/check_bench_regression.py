@@ -2,8 +2,10 @@
 
 Compares a freshly measured ``BENCH_sim_throughput.json`` against the
 committed baseline copy and emits a GitHub Actions ``::warning::``
-annotation for every ``single_run_ops_per_sec`` entry that dropped by
-more than the threshold. Always exits 0: CI runners are far too noisy
+annotation for every single-run throughput entry that dropped by more
+than the threshold. Baselines are per backend: the interpreted engine's
+``single_run_ops_per_sec`` and the vector backend's
+``single_run_ops_per_sec_vector`` are each compared like-for-like. Always exits 0: CI runners are far too noisy
 for wall-clock numbers to gate a merge — the warnings exist so a real
 hot-loop regression shows up on the PR instead of three PRs later.
 
@@ -29,6 +31,16 @@ from pathlib import Path
 THRESHOLD = 0.20
 
 
+#: Per-backend single-run maps, checked against the like-for-like
+#: baseline map: interp vs interp, vector vs vector. Throughputs differ
+#: by design between backends, so cross-backend comparison would be
+#: noise.
+RUN_MAPS = (
+    ("single_run_ops_per_sec", "interp"),
+    ("single_run_ops_per_sec_vector", "vector"),
+)
+
+
 def check(baseline: dict, fresh: dict) -> list:
     """Warning strings for every entry that regressed past THRESHOLD."""
     warnings = []
@@ -38,20 +50,30 @@ def check(baseline: dict, fresh: dict) -> list:
               f"smoke={fresh.get('smoke')}); ops/sec is a rate, so the "
               f"comparison holds approximately, but read warnings with "
               f"the config difference in mind")
-    base_runs = baseline.get("single_run_ops_per_sec", {})
-    fresh_runs = fresh.get("single_run_ops_per_sec", {})
-    for name, base_ops in sorted(base_runs.items()):
-        fresh_ops = fresh_runs.get(name)
-        if fresh_ops is None:
-            warnings.append(f"{name}: present in baseline but not measured")
-            continue
-        if base_ops <= 0:
-            continue
-        drop = 1.0 - fresh_ops / base_ops
-        if drop > THRESHOLD:
+    for map_key, backend in RUN_MAPS:
+        base_runs = baseline.get(map_key, {})
+        fresh_runs = fresh.get(map_key, {})
+        if base_runs and not fresh_runs:
+            # The whole map is absent — a fresh run without numpy has no
+            # vector numbers; one missing warning beats one per entry.
             warnings.append(
-                f"{name}: {fresh_ops:,} ops/s is {drop:.0%} below the "
-                f"baseline {base_ops:,} ops/s (threshold {THRESHOLD:.0%})")
+                f"[{backend}] baseline has entries but none were measured")
+            continue
+        for name, base_ops in sorted(base_runs.items()):
+            fresh_ops = fresh_runs.get(name)
+            if fresh_ops is None:
+                warnings.append(
+                    f"[{backend}] {name}: present in baseline but not "
+                    f"measured")
+                continue
+            if base_ops <= 0:
+                continue
+            drop = 1.0 - fresh_ops / base_ops
+            if drop > THRESHOLD:
+                warnings.append(
+                    f"[{backend}] {name}: {fresh_ops:,} ops/s is {drop:.0%} "
+                    f"below the baseline {base_ops:,} ops/s "
+                    f"(threshold {THRESHOLD:.0%})")
     return warnings
 
 
