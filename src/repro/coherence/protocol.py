@@ -132,6 +132,14 @@ class MemorySystem:
         #: When installed, the engine routes every memory operation through
         #: the full handlers below, so these hooks see all protocol events.
         self.obs = None
+        #: Optional batched reduction kernel, ``kernel(label, rows) ->
+        #: merged words | None``. Set by the vector backend; when present
+        #: and the label is word-wise, reductions/gather merges collect the
+        #: sharer lines and fold them in one call instead of the sequential
+        #: per-line loop. The kernel may decline (None) and must then be
+        #: bit-identical to the sequential fold when it accepts; charged
+        #: cycles are independent of which path ran.
+        self.reduction_kernel = None
         self._in_handler = False
         #: Per-line end-of-service time at the home directory bank: a
         #: directory transaction reserves its line, so contended lines
@@ -1069,7 +1077,14 @@ class MemorySystem:
                                detail=label.name)
 
         # Sharers forward their lines in parallel (the dedicated virtual
-        # network); the shadow thread merges them one at a time.
+        # network); the shadow thread merges them one at a time. When a
+        # batched kernel is installed and the label is word-wise (the fold
+        # never consults the HandlerContext), the forwarded lines are
+        # collected and folded in one pass instead — same merge count, same
+        # charge, bit-identical merged words.
+        batch: Optional[List[List[object]]] = None
+        if self.reduction_kernel is not None and label._reduce_word is not None:
+            batch = [] if merged is None else [merged]
         max_forward = 0
         self._in_handler = True
         try:
@@ -1085,7 +1100,9 @@ class MemorySystem:
                                   self._forward_latency(sharer, core))
                 self.stats.reduction_lines += 1
                 data = list(ventry.words)
-                if merged is None:
+                if batch is not None:
+                    batch.append(data)
+                elif merged is None:
                     merged = data
                 else:
                     merged = label.reduce(hctx, merged, data)
@@ -1096,6 +1113,8 @@ class MemorySystem:
                 self.stats.invalidations += 1
         finally:
             self._in_handler = False
+        if batch:
+            merged = self._fold_rows(label, batch, hctx, res)
         res.cycles += max_forward
         if self.obs is not None:
             # Forwarded lines were also invalidated at their sharers
@@ -1289,12 +1308,57 @@ class MemorySystem:
         res.overlap_cycles = res.cycles - cycles_at_dir_release
         return res
 
+    def _fold_rows(self, label: Label, rows: List[List[object]],
+                   hctx: HandlerContext, res: AccessResult) -> List[object]:
+        """Fold collected word-wise partial lines, preferring the batched
+        kernel; falls back to the sequential left fold (identical result by
+        the kernel's contract) when it declines. Charges one handler cost
+        per merge — exactly what the in-loop sequential path charges."""
+        if len(rows) == 1:
+            return rows[0]
+        cost = self._handler_cost(label) * (len(rows) - 1)
+        res.cycles += cost
+        self.stats.shadow_thread_cycles += cost
+        kernel = self.reduction_kernel
+        out = kernel(label, rows) if kernel is not None else None
+        if out is None:
+            out = rows[0]
+            self._in_handler = True
+            try:
+                for row in rows[1:]:
+                    out = label.reduce(hctx, out, row)
+            finally:
+                self._in_handler = False
+        return out
+
     def _merge_nonspec(self, core: int, entry: CacheLine, label: Label,
                        donations: List[List[object]], hctx: HandlerContext,
                        res: AccessResult) -> None:
         """Reduce forwarded partial lines into both the speculative and the
         non-speculative copy of ``entry`` (donated data is non-speculative
         and must survive a rollback)."""
+        if not donations:
+            return
+        kernel = self.reduction_kernel
+        if kernel is not None and label._reduce_word is not None:
+            # Batched: fold all donations into the speculative copy (and
+            # the clean snapshot, when present) in one kernel pass each.
+            # Only taken when *every* fold the sequential loop would do is
+            # kernel-exact; otherwise fall through unchanged.
+            merged = kernel(label, [list(entry.words), *donations])
+            clean = None
+            if merged is not None and entry.clean_words is not None:
+                clean = kernel(label, [list(entry.clean_words), *donations])
+            if merged is not None and (entry.clean_words is None
+                                       or clean is not None):
+                cost = self._handler_cost(label) * len(donations)
+                res.cycles += cost
+                self.stats.shadow_thread_cycles += cost
+                entry.words = merged
+                if clean is not None:
+                    entry.clean_words = clean
+                entry.dirty = True
+                return
         self._in_handler = True
         try:
             for donated in donations:

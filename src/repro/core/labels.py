@@ -212,9 +212,14 @@ def add_label(name: str = "ADD") -> Label:
             else value / num_sharers
         return value - donation, donation
 
-    return wordwise_label(name, identity=0,
-                          reduce_word=lambda a, b: a + b,
-                          split_word=split)
+    label = wordwise_label(name, identity=0,
+                           reduce_word=lambda a, b: a + b,
+                           split_word=split)
+    # Batched-reduction tag for the vector backend: folding plain-int ADD
+    # lines in any association order is exact, so a numpy column sum may
+    # stand in for the sequential merge (repro.sim.vector.kernels).
+    label.vector_reduce = "add"
+    return label
 
 
 def min_label(name: str = "MIN") -> Label:
@@ -230,8 +235,12 @@ def min_label(name: str = "MIN") -> Label:
             return a
         return a if a <= b else b
 
-    return wordwise_label(name, identity=None, reduce_word=reduce,
-                          is_identity_word=lambda w: w is None)
+    label = wordwise_label(name, identity=None, reduce_word=reduce,
+                           is_identity_word=lambda w: w is None)
+    # Exact under any association order on all-int lines; the kernel
+    # declines lines containing None (the identity encoding).
+    label.vector_reduce = "min"
+    return label
 
 
 def max_label(name: str = "MAX") -> Label:
@@ -244,8 +253,10 @@ def max_label(name: str = "MAX") -> Label:
             return a
         return a if a >= b else b
 
-    return wordwise_label(name, identity=None, reduce_word=reduce,
-                          is_identity_word=lambda w: w is None)
+    label = wordwise_label(name, identity=None, reduce_word=reduce,
+                           is_identity_word=lambda w: w is None)
+    label.vector_reduce = "max"
+    return label
 
 
 def oput_label(name: str = "OPUT") -> Label:

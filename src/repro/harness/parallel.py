@@ -23,11 +23,22 @@ Key design points:
 * **The pool is persistent and pays for itself.** Workers are created once
   per host process (``forkserver`` with the simulator preloaded, falling
   back to ``fork``, then ``spawn``) and reused across sweeps, so repeated
-  sweeps never pay interpreter + import startup per task. Specs are
-  submitted in chunks, and sweeps smaller than a configurable threshold
+  sweeps never pay interpreter + import startup per task. Every worker
+  runs a warmup initializer that imports the simulator stack at creation,
+  so even ``spawn`` workers are hot before the first spec arrives;
+  :func:`warm_pool` lets callers pay the whole pool startup outside any
+  timed region. Sweeps smaller than a configurable threshold
   (:data:`DEFAULT_SERIAL_THRESHOLD`, override with
   ``REPRO_SERIAL_THRESHOLD`` or the ``serial_threshold`` argument) run
   serially instead — small sweeps never regress behind pool dispatch.
+* **Adaptive chunk sizing.** Spec costs within one sweep routinely differ
+  by an order of magnitude (an 8-thread contended point vs its 1-thread
+  baseline), so fixed-size chunks leave workers idle behind the worst
+  chunk. Specs are instead packed into one bucket per worker by
+  longest-processing-time greedy assignment over a cost estimate
+  (:func:`estimate_cost`), so each worker gets one balanced batch and the
+  per-task dispatch/pickle overhead is paid ``jobs`` times, not once per
+  point.
 """
 
 from __future__ import annotations
@@ -180,6 +191,58 @@ def run_point(spec: PointSpec):
     )
 
 
+def estimate_cost(spec: PointSpec) -> int:
+    """Relative cost estimate for one spec, for load balancing only.
+
+    Simulated work scales with how many ops each thread issues times how
+    many threads issue them, so ``total_ops * num_threads`` (with the
+    micro default of 1000 when the builder has no such knob) tracks the
+    real wall-clock ordering well enough for bucket packing. Estimates
+    only need to get the *ranking* roughly right — the LPT packing in
+    :func:`partition_specs` is what turns them into balanced buckets.
+    """
+    params = dict(spec.params)
+    total_ops = params.get("total_ops") or 1000
+    return max(1, int(total_ops) * max(1, spec.num_threads))
+
+
+def partition_specs(specs: Sequence[PointSpec],
+                    buckets: int) -> List[List[int]]:
+    """Pack spec indices into at most ``buckets`` cost-balanced buckets.
+
+    Longest-processing-time greedy: visit specs in descending estimated
+    cost, always appending to the currently lightest bucket. Returns the
+    non-empty buckets; each inner list holds indices into ``specs`` in
+    descending-cost order, so every worker starts with its heaviest point
+    while the others are still being dispatched.
+    """
+    buckets = max(1, min(buckets, len(specs)))
+    loads = [0] * buckets
+    out: List[List[int]] = [[] for _ in range(buckets)]
+    order = sorted(range(len(specs)),
+                   key=lambda i: estimate_cost(specs[i]), reverse=True)
+    for i in order:
+        b = loads.index(min(loads))
+        out[b].append(i)
+        loads[b] += estimate_cost(specs[i])
+    return [bucket for bucket in out if bucket]
+
+
+def run_bucket(specs: Sequence[PointSpec]) -> List:
+    """Simulate a bucket of specs in order. Top-level for pool pickling."""
+    return [run_point(spec) for spec in specs]
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on — the scheduler affinity
+    mask where the platform exposes one (containers and cgroup quotas
+    shrink it below ``os.cpu_count()``), else ``os.cpu_count()``."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: explicit argument, else ``REPRO_JOBS``, else
     ``os.cpu_count()``. Always at least 1."""
@@ -265,15 +328,48 @@ def _pool_context():
     return multiprocessing.get_context("spawn")
 
 
+def _worker_warmup() -> None:
+    """Pool initializer: import the simulator stack in the worker at
+    creation time, so the first real spec never pays import cost. A no-op
+    under ``fork``/``forkserver`` (the modules arrive pre-imported); under
+    ``spawn`` this moves the cold import out of the first sweep."""
+    for module in POOL_PRELOAD_MODULES:
+        importlib.import_module(module)
+
+
 def get_pool(jobs: int):
     """The persistent worker pool, (re)built for ``jobs`` workers."""
     global _pool, _pool_jobs
     if _pool is not None and _pool_jobs != jobs:
         shutdown_pool()
     if _pool is None:
-        _pool = _pool_context().Pool(processes=jobs)
+        _pool = _pool_context().Pool(processes=jobs,
+                                     initializer=_worker_warmup)
         _pool_jobs = jobs
     return _pool
+
+
+def warm_pool(jobs: Optional[int] = None) -> None:
+    """Create the pool for ``jobs`` workers and wait until every worker
+    is alive and warm. Benchmarks and interactive callers use this to pay
+    the whole one-time pool startup outside their timed region; sweeps
+    after it observe only steady-state dispatch cost. Each warmup task
+    blocks briefly on a rendezvous so one worker cannot drain them all
+    while its siblings are still booting."""
+    workers = min(resolve_jobs(jobs), _available_cpus())
+    if workers <= 1:
+        return  # sweeps will run serially; there is nothing to warm
+    pool = get_pool(workers)
+    pool.map(_warm_task, [0.02] * workers, 1)
+
+
+def _warm_task(hold_seconds: float) -> int:
+    """Warmup task: hold the worker just long enough that the remaining
+    warmup tasks land on its siblings. Top-level for pool pickling."""
+    import time
+
+    time.sleep(hold_seconds)
+    return os.getpid()
 
 
 def shutdown_pool() -> None:
@@ -325,12 +421,45 @@ def run_points(specs: Sequence[PointSpec], *, jobs: Optional[int] = None,
         todo_specs = [spec for _, spec in todo]
         n = len(todo_specs)
         threshold = resolve_serial_threshold(serial_threshold)
-        if jobs > 1 and n > 1 and n >= threshold:
-            pool = get_pool(jobs)
-            chunksize = max(1, n // (4 * jobs))
-            outputs = pool.map(run_point, todo_specs, chunksize)
+        # Dispatch width adapts to the CPUs this process can actually
+        # use: ``jobs`` is a ceiling, not a promise to oversubscribe.
+        # Fanning simulator processes out past the affinity mask only
+        # adds context-switch and IPC cost on top of the same serial
+        # work (the recorded sweep16 regression was exactly that — a
+        # 4-worker pool on a one-CPU host losing to the serial loop).
+        workers = min(jobs, _available_cpus())
+        if workers > 1 and n > 1 and n >= threshold:
+            pool = get_pool(workers)
+            # Adaptive chunk sizing: one cost-balanced bucket per worker
+            # (LPT over the spec cost estimates) instead of fixed-size
+            # chunks — per-task dispatch overhead is paid ``workers``
+            # times, not once per point, and no worker idles behind a
+            # chunk that happened to collect the expensive points. The
+            # dispatching process is a worker too: it simulates the
+            # heaviest bucket itself while the pool drains the rest, so
+            # that bucket's specs and results never cross a process
+            # boundary at all and an otherwise-idle parent core joins
+            # the sweep.
+            buckets = partition_specs(todo_specs, workers)
+            async_out = pool.map_async(
+                run_bucket,
+                [[todo_specs[i] for i in bucket] for bucket in buckets[1:]],
+                1)
+            local_out = run_bucket([todo_specs[i] for i in buckets[0]])
+            nested = [local_out] + (async_out.get() if buckets[1:] else [])
+            outputs = [None] * n
+            for bucket, bucket_out in zip(buckets, nested):
+                for i, result in zip(bucket, bucket_out):
+                    outputs[i] = result
         else:
-            if jobs > 1 and n > 1:
+            if jobs > 1 and workers == 1 and n > 1:
+                log.info(
+                    "jobs=%d requested but only one CPU is available to "
+                    "this process: running serially (an oversubscribed "
+                    "pool re-runs the same serial work plus dispatch "
+                    "overhead)", jobs,
+                )
+            elif jobs > 1 and n > 1:
                 log.info(
                     "sweep has %d uncached point(s), below the serial "
                     "threshold of %d: running serially (pool dispatch "
@@ -362,9 +491,13 @@ __all__ = [
     "resolve_build",
     "make_spec",
     "run_point",
+    "estimate_cost",
+    "partition_specs",
+    "run_bucket",
     "resolve_jobs",
     "resolve_serial_threshold",
     "get_pool",
+    "warm_pool",
     "shutdown_pool",
     "run_points",
 ]

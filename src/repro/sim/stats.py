@@ -128,6 +128,27 @@ class Stats:
     host_vector_epoch_ops: int = 0
     #: Whole transactions executed closed-form via the fused-plan path.
     host_vector_fused_txs: int = 0
+    #: Full-protocol accesses (misses, upgrades, reductions, gathers)
+    #: certified deterministic and executed inside an epoch instead of
+    #: fencing it.
+    host_vector_proto_ops: int = 0
+    #: Reduction merges folded by the batched numpy kernel instead of the
+    #: sequential per-line handler loop (identical merged words & cycles).
+    host_vector_kernel_reductions: int = 0
+    #: In-epoch protocol accesses whose latency the closed-form NoC/
+    #: directory-table predictor computed before execution...
+    host_vector_miss_predicted: int = 0
+    #: ...and how many of those predictions disagreed with the protocol's
+    #: actual charge (the protocol result is always authoritative; a
+    #: mispredict is a model-coverage datum, not an error).
+    host_vector_miss_mispredicts: int = 0
+    #: True when the adaptive backend gate rebound the run to the
+    #: interpreted run-ahead loop because epoch engagement stayed below
+    #: threshold through the warmup window (host-only decision).
+    host_vector_gated: bool = False
+    #: Why epochs fenced: cause -> count (e.g. "barrier", "tx_restart",
+    #: "miss_unsafe"). Host-side diagnosis of epoch engagement.
+    host_vector_fence_causes: Counter = field(default_factory=Counter)
 
     def __post_init__(self) -> None:
         if self.num_cores and not self.breakdown:

@@ -25,7 +25,8 @@ class EpochColumns:
     """Column-per-statistic, slot-per-core accumulators with a numpy flush."""
 
     __slots__ = ("num_cores", "instructions", "labeled", "non_tx_cycles",
-                 "tx_cycles", "commits", "by_label")
+                 "tx_cycles", "commits", "by_label", "proto_ops",
+                 "pred_hits", "pred_misses", "fence_causes")
 
     def __init__(self, num_cores: int):
         self.num_cores = num_cores
@@ -36,6 +37,12 @@ class EpochColumns:
         self.commits = [0] * num_cores
         #: label name -> labeled-op count (order-insensitive Counter merge).
         self.by_label: dict = {}
+        #: Host-side epoch diagnostics (scalars; flushed into host_vector_*).
+        self.proto_ops = 0
+        self.pred_hits = 0
+        self.pred_misses = 0
+        #: fence cause -> count, flushed into host_vector_fence_causes.
+        self.fence_causes: dict = {}
 
     def flush(self, stats) -> None:
         """Reduce every column into ``stats`` and reset."""
@@ -59,6 +66,16 @@ class EpochColumns:
         if self.by_label:
             stats.labeled_by_label.update(self.by_label)
             self.by_label = {}
+
+        stats.host_vector_proto_ops += self.proto_ops
+        stats.host_vector_miss_predicted += self.pred_hits + self.pred_misses
+        stats.host_vector_miss_mispredicts += self.pred_misses
+        self.proto_ops = 0
+        self.pred_hits = 0
+        self.pred_misses = 0
+        if self.fence_causes:
+            stats.host_vector_fence_causes.update(self.fence_causes)
+            self.fence_causes = {}
 
         self.instructions = [0] * n
         self.labeled = [0] * n

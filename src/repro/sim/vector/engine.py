@@ -36,6 +36,30 @@ during an epoch. Zero-duration operations (``Work(0)``) are never
 classified local — their ``t + d`` would not move past a tie — and fall
 to the strict phase instead.
 
+**Certified protocol accesses** (:meth:`VectorEngine._certify_proto`).
+Three event classes that used to fence every epoch now execute inside
+it: deterministic misses and S-upgrades (closed-form latency predicted
+from the precomputed NoC/directory tables and validated against the
+real handler's charge), word-wise reductions (batched through the numpy
+kernel in :mod:`.kernels` when exact), and gathers. A certified access
+runs the *real* ``MemorySystem`` handler at its heap-pop time — the
+strict scheduler's execution point — so it is bit-identical by
+construction; certification merely proves the transition cannot abort,
+NACK, or nondeterministically evict. Because these accesses mutate
+shared state, every later fused/fast/proto pop re-validates its
+precomputed snapshot and fences on disagreement.
+
+**Adaptive backend gate + fenced replay** (:meth:`VectorEngine._run_vector`).
+Workloads that never engage epochs (e.g. conventional-HTM baselines
+whose every access conflicts) pay the classification attempts as pure
+host overhead: after a warmup, if the share of simulated cycles executed
+inside epochs stays below a threshold, the run rebinds to one
+uninterrupted strict (run-ahead) pass. Symmetrically, when several cores
+fence in one attempt (a barrier wave, a burst of uncertifiable misses),
+the strict phase gets at least one op per fenced event so the whole wave
+replays as one sorted batch. Every fence increments a cause histogram
+(``Stats.host_vector_fence_causes``).
+
 **Strict phases** (:meth:`VectorEngine._strict_stepper`). An exact clone of
 ``Engine._run_runahead`` — same heap, same ``(stamp, core)`` tie-break,
 same stale-entry requeue — extended to (a) consume operations the epoch
@@ -58,9 +82,12 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional
 
+from ...coherence.messages import Requester
 from ...coherence.states import State
+from ...errors import SimulationError
 from ...runtime.ops import (
     Atomic,
+    Barrier,
     Load,
     LabeledLoad,
     LabeledStore,
@@ -79,19 +106,25 @@ from ..engine import (
 )
 from . import log
 from .columns import EpochColumns
-from .kernels import lower_atomic
+from .kernels import lower_atomic, reduce_lines
 
 _M = State.M
 _E = State.E
 _S = State.S
 _U = State.U
+_I = State.I
 
 # Operation kinds a classified record can carry. Conventional routes of
 # LabeledLoad/LabeledStore/LoadGather (baseline HTM, labels disabled) also
 # classify as K_LOAD/K_STORE — no labeled counts, mirroring the engine.
 # K_BEGIN/K_COMMIT bracket *interpreted* transactions run inside an epoch:
 # begin draws its timestamp in heap-pop (= strict) order, commit is
-# core-local under eager conflict detection.
+# core-local under eager conflict detection. K_PROTO carries a certified
+# *full-protocol* access — a miss, an S-upgrade, a reduction, a gather —
+# whose outcome :meth:`VectorEngine._certify_proto` proved deterministic
+# from the current directory/sharer snapshot: executed at heap-pop time
+# (= the strict scheduler's execution point) through the real
+# ``MemorySystem`` handlers, so it is bit-identical by construction.
 K_WORK = 0
 K_FUSED = 1
 K_LOAD = 2
@@ -100,6 +133,33 @@ K_LLOAD = 4
 K_LSTORE = 5
 K_BEGIN = 6
 K_COMMIT = 7
+K_PROTO = 8
+#: K_PROTO sub-kind for labeled gathers (record ``data`` field only; a
+#: record's ``kind`` is never K_GATHER).
+K_GATHER = 9
+#: An aborted transaction's restart (backoff draw + stall + re-begin),
+#: executed at the core's heap-pop time — exactly the point the strict
+#: scheduler would call ``_restart_tx`` — so the rng draw order matches.
+K_RESTART = 10
+#: A barrier arrival. Arrivals execute at heap-pop time (= strict arrival
+#: order); the non-last arrivers block and leave the epoch, and the last
+#: arrival's release — which can only fire when every other live core is
+#: already waiting, i.e. with an empty epoch heap — re-admits the whole
+#: wave into the *same* epoch at the release time.
+K_BARRIER = 11
+#: First-touch fused transaction, phase 1: the real ``htm.begin`` (the
+#: timestamp draw happens in heap-pop = strict order). The body is
+#: scheduled as its own record at ``t + tx_begin_cycles`` because between
+#: begin and first access the transaction has no footprint — other cores'
+#: records must interleave exactly as the strict schedule would.
+K_FMISS_BEGIN = 12
+#: First-touch fused transaction, phase 2: one certified GETU install
+#: through the real protocol handlers, the remaining labeled hits closed
+#: form (they all L1-hit the just-installed line), and the real commit.
+#: Re-certified at its own pop; on decline it falls back to the
+#: interpreted transaction by materializing the frame the strict begin
+#: would have created.
+K_FMISS_BODY = 13
 
 # Strict-phase op budget between epoch attempts: doubles while epoch
 # attempts keep yielding nothing (irregular region), shrinks back toward
@@ -109,6 +169,26 @@ K_COMMIT = 7
 # work the next epoch could have batched.
 _MIN_BURST = 8
 _MAX_BURST = 4096
+
+# Adaptive backend gate (mirrors the interpreted engine's fast-path
+# warmup): after this many epoch attempts, if the share of simulated
+# cycles executed inside epochs is below the threshold, the run rebinds
+# to a single uninterrupted strict (run-ahead) pass — epoch attempts are
+# pure host-side overhead on workloads that never engage them.
+_GATE_WARMUP_EPOCHS = 32
+_GATE_MIN_SHARE = 0.5
+# Early exit from the warmup itself: each attempt costs a full scan of
+# every runner, so a workload that is recognizably fence-bound should not
+# pay for the whole warmup. The cumulative epoch-cycle share only *falls*
+# on such workloads (every contended phase repeats), so a share already
+# well below full engagement after a handful of attempts is decisive —
+# measured trajectories separate cleanly (a fence-bound counter run sits
+# near 0.6 by attempt four and keeps falling, an epoch-friendly kmeans
+# run stays above 0.95). The early bar is deliberately *higher* than
+# _GATE_MIN_SHARE: past the warmup the accumulated evidence justifies a
+# lower bar.
+_GATE_EARLY_ATTEMPTS = 4
+_GATE_EARLY_SHARE = 0.65
 
 
 class VectorEngine(Engine):
@@ -129,6 +209,24 @@ class VectorEngine(Engine):
         #: Per-epoch memo of validated fused targets:
         #: (core, line, label, idx0, n) -> CacheLine.
         self._fused_ok: dict = {}
+        #: Why the most recent _classify call declined (fence-cause
+        #: histogram; see Stats.host_vector_fence_causes).
+        self._decline = "unclassified"
+        #: Restarts may run in-epoch only when they cannot take zero
+        #: cycles (backoff_cycles returns >= 1 whenever base > 0): a
+        #: zero-duration event could tie with a fence at its own start.
+        self._restart_local = (self.config.backoff_base > 0
+                               or self._tx_begin_cycles >= 1)
+        # Batched reduction seam: word-wise reductions and gather merges
+        # collect the sharer lines and fold them in one numpy pass
+        # (bit-identical words and charge; see kernels.reduce_lines).
+        msys.reduction_kernel = self._reduction_kernel
+
+    def _reduction_kernel(self, label, rows):
+        out = reduce_lines(label, rows)
+        if out is not None:
+            self.stats.host_vector_kernel_reductions += 1
+        return out
 
     # ------------------------------------------------------------------
 
@@ -167,18 +265,58 @@ class VectorEngine(Engine):
 
     def _run_vector(self) -> None:
         burst = _MIN_BURST
+        attempts = 0
+        epoch_cycles = 0
+        gate_pending = True
         strict = self._strict_stepper()
         next(strict)  # prime: bind the hot locals, park at the first yield
         try:
             while True:
-                n = self._run_epoch()
+                n, ecyc, fences = self._run_epoch()
+                epoch_cycles += ecyc
+                attempts += 1
+                if (gate_pending and attempts == _GATE_EARLY_ATTEMPTS
+                        and epoch_cycles
+                        < sum(self._cycles) * _GATE_EARLY_SHARE):
+                    gate_pending = False
+                    self.stats.host_vector_gated = True
+                    log.info("vector backend: weak epoch engagement "
+                             "after %d attempts; rebinding to the "
+                             "run-ahead loop", attempts)
+                    strict.close()  # lands its host counters
+                    self._strict_drain()
+                    break
+                if gate_pending and attempts >= _GATE_WARMUP_EPOCHS:
+                    # Adaptive backend gate: epoch engagement is the share
+                    # of simulated cycles executed inside epochs. Below
+                    # threshold, every further attempt is host overhead —
+                    # rebind to one uninterrupted strict (run-ahead) pass.
+                    # Host-only decision: the strict stepper is a clone of
+                    # the interpreted run-ahead loop, so simulated results
+                    # are bit-identical either way.
+                    gate_pending = False
+                    if epoch_cycles < sum(self._cycles) * _GATE_MIN_SHARE:
+                        self.stats.host_vector_gated = True
+                        log.info("vector backend: epoch engagement below "
+                                 "%.0f%% after %d attempts; rebinding to "
+                                 "the run-ahead loop",
+                                 _GATE_MIN_SHARE * 100, attempts)
+                        strict.close()
+                        self._strict_drain()
+                        break
                 if n == 0:
                     burst = min(burst * 2, _MAX_BURST)
                 elif n >= burst:
                     burst = _MIN_BURST
                 else:
                     burst = max(_MIN_BURST, burst // 2)
-                if not strict.send(burst):
+                # Epoch-parallel fenced replay: when several cores fenced
+                # in this attempt (e.g. a barrier arrival wave, or misses
+                # on lines the certifier declined), give the strict phase
+                # at least one op per fenced event so the whole wave
+                # replays as one sorted batch instead of one epoch
+                # attempt per event.
+                if not strict.send(max(burst, fences)):
                     break
         finally:
             strict.close()  # run its ``finally`` so host counters land
@@ -191,10 +329,12 @@ class VectorEngine(Engine):
     # Epoch phase
     # ------------------------------------------------------------------
 
-    def _run_epoch(self) -> int:
-        """Attempt one epoch; returns the number of operations executed
-        (0 when nothing classified local). Operations pulled but not
-        executed stay in ``runner.pulled`` for the strict phase.
+    def _run_epoch(self):
+        """Attempt one epoch; returns ``(ops, cycles, fences)`` — the
+        number of operations executed (0 when nothing classified local),
+        the simulated cycles they covered, and the number of fence events
+        observed. Operations pulled but not executed stay in
+        ``runner.pulled`` for the strict phase.
 
         Cores whose next event is *not* local — a miss, a barrier, a
         transaction restart, thread completion — do not park the whole
@@ -216,69 +356,25 @@ class VectorEngine(Engine):
         finished = _FINISHED
         classify = self._classify
         self._fused_ok.clear()
+        fc = self._cols.fence_causes
+        fences = 0
 
         heap: List[list] = []  # [start, core, rec] — min-start order
         fence = None  # earliest start among held non-local events
+        admit = self._admit
         for runner in self.runners:
             if runner is None:
                 continue
             core = runner.core
             if done[core] or runner.blocked:
                 continue
-            tx = tx_active[core]
-            t = cycles[core]
-            if tx is not None and tx.aborted:
-                # Restart (backoff rng draw included) is strict-phase
-                # work; do not resume the doomed generator.
-                if fence is None or t < fence:
-                    fence = t
-                continue
-            op = runner.pulled
-            if op is None:
-                value = runner.pending_value
-                runner.pending_value = None
-                while True:
-                    try:
-                        op = runner.send(value)
-                    except StopIteration as stop:
-                        frames = runner.frames
-                        if len(frames) > 1 and not frames[-1].is_tx_root:
-                            # Plain nested generator: popping it is free
-                            # and invisible to every other core.
-                            frames.pop()
-                            runner.send = frames[-1].gen.send
-                            value = stop.value
-                            continue
-                        runner.pulled = op = finished
-                        runner.pulled_value = stop.value
-                    break
-                if op is not finished:
-                    runner.pulled = op
-            if op is finished:
-                # A pending frame-finish: an inline-committable tx root
-                # becomes a K_COMMIT record (the commit is a core-local
-                # event lasting tx_commit_cycles); thread completion and
-                # anything irregular stay strict-phase work.
-                frames = runner.frames
-                if (self._commit_local and len(frames) > 1
-                        and frames[-1].is_tx_root
-                        and tx is not None and not tx.aborted
-                        and not tx.lazy_written):
-                    heap.append([t, core,
-                                 [runner, core, self._tx_commit_cycles,
-                                  K_COMMIT, None, runner.pulled_value, tx]])
-                elif fence is None or t < fence:
-                    fence = t
-                continue
-            rec = classify(runner, op, tx)
-            if rec is None:
-                if fence is None or t < fence:
-                    fence = t
-                continue
-            heap.append([t, core, rec])
+            ft = admit(runner, heap, fc)
+            if ft is not None:
+                fences += 1
+                if fence is None or ft < fence:
+                    fence = ft
         if not heap:
-            return 0
-        heapq.heapify(heap)
+            return 0, 0, fences
 
         cols = self._cols
         instr_col = cols.instructions
@@ -289,24 +385,44 @@ class VectorEngine(Engine):
         by_label = cols.by_label
         breakdown = self._breakdown
         htm = self.htm
+        msys = self.msys
+        certify = self._certify_proto
         fast_load = self._fast_load
         fast_store = self._fast_store
         fast_lload = self._fast_labeled_load
         fast_lstore = self._fast_labeled_store
 
         epoch_ops = 0
+        epoch_cycles = 0
         fused_txs = 0
+        #: Set once a K_PROTO op executed: full-protocol accesses mutate
+        #: shared state (directory, foreign caches, own L2/L1 via install),
+        #: so later pops must re-validate what classification precomputed.
+        proto_mutated = False
         heappop = heapq.heappop
         heappush = heapq.heappush
 
-        while heap:
-            item = heappop(heap)
+        #: A record provably <= everything in the heap: a core chaining
+        #: through a local region stays the global minimum most of the
+        #: time, and skipping the heappush/heappop pair for those pops
+        #: is the single largest host saving in this loop.
+        pending = None
+        while True:
+            if pending is not None:
+                item = pending
+                pending = None
+            elif heap:
+                item = heappop(heap)
+            else:
+                break
             t = item[0]
             if fence is not None and t >= fence:
                 # The minimum held start reached the fence: everything
                 # still on the heap starts at or past it too. Hold the
                 # lot (ops stay in runner.pulled) and let the strict
-                # phase run the fenced event first.
+                # phase run the fenced event first. Back into the heap
+                # so the post-loop sweep sees this record too.
+                heappush(heap, item)
                 break
             rec = item[2]
             runner, core, dur, kind, op, data, tx = rec
@@ -320,8 +436,27 @@ class VectorEngine(Engine):
                     breakdown[core].tx_committed += dur
                     tx.cycles_this_attempt += dur
             elif kind == K_FUSED:
-                entry, idx0, deltas, label_name, ret = data
-                self._caches[core].touch(entry.line)
+                entry, idx0, deltas, label, ret = data
+                cache = self._caches[core]
+                if proto_mutated:
+                    # An earlier protocol access may have invalidated,
+                    # downgraded, or L1-evicted the pre-validated target
+                    # (our own install evicts LRU L1 slots too, voiding
+                    # the all-L1-hits charge). Re-validate or hold.
+                    st = entry.state
+                    if (cache.peek_line(entry.line) is not entry
+                            or entry.line not in cache._l1
+                            or not (st is _M or st is _E
+                                    or (st is _U and entry.label is label))
+                            or entry.clean_words is not None
+                            or entry.spec_read or entry.spec_written
+                            or entry.spec_labeled):
+                        fc["fused_revoked"] = fc.get("fused_revoked", 0) + 1
+                        fences += 1
+                        if fence is None or t < fence:
+                            fence = t
+                        break
+                cache.touch(entry.line)
                 entry.words = words = list(entry.words)
                 j = idx0
                 for d in deltas:
@@ -334,11 +469,70 @@ class VectorEngine(Engine):
                 n2 = 2 * len(deltas)
                 instr_col[core] += n2
                 labeled_col[core] += n2
-                by_label[label_name] = by_label.get(label_name, 0) + n2
+                name = label.name
+                by_label[name] = by_label.get(name, 0) + n2
                 commits_col[core] += 1
                 tx_col[core] += dur
                 fused_txs += 1
                 runner.pending_value = ret
+            elif kind == K_PROTO:
+                # Certified full-protocol access (miss, upgrade,
+                # reduction, gather): executed here, at its strict
+                # execution point, through the real MemorySystem handlers
+                # — bit-identical by construction. Earlier epoch work may
+                # have changed the snapshot (spec bits appear when in-tx
+                # cores run local ops), so re-certify before committing.
+                pred = certify(core, data, op.addr,
+                               getattr(op, "label", None), t,
+                               tx is not None)
+                if pred is None:
+                    fc["proto_revoked"] = fc.get("proto_revoked", 0) + 1
+                    fences += 1
+                    if fence is None or t < fence:
+                        fence = t
+                    break
+                req = Requester(core, tx.ts if tx is not None else None,
+                                now=t)
+                if data == K_LOAD:
+                    res = msys.load(core, op.addr, req)
+                elif data == K_STORE:
+                    res = msys.store(core, op.addr, op.value, req)
+                elif data == K_LLOAD:
+                    res = msys.labeled_load(core, op.addr, op.label, req)
+                elif data == K_LSTORE:
+                    res = msys.labeled_store(core, op.addr, op.label,
+                                             op.value, req)
+                else:
+                    res = msys.load_gather(core, op.addr, op.label, req)
+                if res.abort_requester or res.aborted_victims:
+                    raise SimulationError(
+                        "certified epoch protocol access aborted a "
+                        "transaction; the certifier must decline these"
+                    )
+                dur = res.cycles
+                instr_col[core] += 1
+                if data != K_LOAD and data != K_STORE:
+                    labeled_col[core] += 1
+                    name = op.label.name
+                    by_label[name] = by_label.get(name, 0) + 1
+                if tx is None:
+                    non_tx_col[core] += dur
+                else:
+                    # Straight to the breakdown (not the deferred column):
+                    # an abort after this epoch reclassifies
+                    # cycles_this_attempt out of tx_committed, clamped to
+                    # what the breakdown already holds.
+                    breakdown[core].tx_committed += dur
+                    tx.cycles_this_attempt += dur
+                runner.pending_value = res.value
+                cols.proto_ops += 1
+                if pred >= 0:
+                    if pred == dur:
+                        cols.pred_hits += 1
+                    else:
+                        cols.pred_misses += 1
+                proto_mutated = True
+                self._fused_ok.clear()
             elif kind == K_BEGIN:
                 # Clone of _op_atomic's outermost branch (tracing and obs
                 # are off whenever epochs run). The timestamp draw happens
@@ -351,6 +545,8 @@ class VectorEngine(Engine):
                 runner.send = gen.send
             elif kind == K_COMMIT:
                 if tx.aborted or tx.lazy_written:  # defensive: hold it
+                    fc["commit_revoked"] = fc.get("commit_revoked", 0) + 1
+                    fences += 1
                     break
                 # Clone of _finish_frame's commit path (obs and tracing
                 # off; eager detection, so no lazy publication).
@@ -361,6 +557,147 @@ class VectorEngine(Engine):
                 breakdown[core].tx_committed += dur
                 runner.pending_value = data  # the frame's StopIteration value
                 tx = None
+            elif kind == K_RESTART:
+                # The strict path's own _restart_tx (finish_abort, frame
+                # unwind, livelock guard, backoff draw + stall charged
+                # as wasted, begin_retry + begin charge, fresh generator)
+                # — bit-identical by construction; it advances the clock
+                # itself, so the duration is read back off it. A held op
+                # from the doomed attempt is discarded exactly as the
+                # strict stepper would (replay re-creates it).
+                runner.pulled = None
+                runner.pulled_value = None
+                self._restart_tx(runner, tx)
+                dur = cycles[core] - t
+                tx = tx_active[core]
+            elif kind == K_BARRIER:
+                # Arrival at heap-pop time = the strict scheduler's
+                # arrival order. Non-last arrivers block and simply leave
+                # the epoch (no record, no fence — a blocked core cannot
+                # act until released).
+                runner.pulled = None
+                self._barrier_arrive(runner)
+                epoch_ops += 1
+                if runner.blocked:
+                    continue
+                # Last arriver: the release fired. It can only fire when
+                # every other live core is already waiting, so the heap
+                # is empty; every waiter's stall was charged non-tx and
+                # its clock advanced to the release time by
+                # _maybe_release_barrier. Re-admit the whole wave into
+                # this same epoch.
+                nt = cycles[core]
+                epoch_cycles += nt - t
+                if heap:  # defensive: fall back to fencing the release
+                    fences += 1
+                    if fence is None or nt < fence:
+                        fence = nt
+                    break
+                admit = self._admit
+                for r2 in self.runners:
+                    if r2 is None:
+                        continue
+                    c2 = r2.core
+                    if done[c2] or r2.blocked:
+                        continue
+                    ft = admit(r2, heap, fc)
+                    if ft is not None:
+                        fences += 1
+                        if fence is None or ft < fence:
+                            fence = ft
+                continue
+            elif kind == K_FMISS_BEGIN:
+                # Phase 1 of a first-touch fused transaction: the real
+                # begin (timestamp drawn in heap-pop = strict order),
+                # then schedule the body as its own record at t + dur.
+                # No frame is pushed — generator creation is deferred to
+                # the fallback path, where it is still side-effect free.
+                tx = htm.begin(core, ts=op.ts)
+                breakdown[core].tx_committed += dur
+                tx.cycles_this_attempt += dur
+                nt = t + dur
+                cycles[core] = nt
+                epoch_ops += 1
+                epoch_cycles += dur
+                item[0] = nt
+                item[2] = [runner, core, 0, K_FMISS_BODY, op, data, tx]
+                if heap and (heap[0][0] < nt
+                             or (heap[0][0] == nt and heap[0][1] < core)):
+                    heappush(heap, item)
+                else:
+                    pending = item
+                continue
+            elif kind == K_FMISS_BODY:
+                plan = data
+                n = len(plan.deltas)
+                line_no = plan.line
+                addr0 = line_no * 64 + plan.idx0 * 8
+                cache = self._caches[core]
+                # Records executed since classification (our phase 1 ran
+                # at t - begin) may have changed the directory snapshot —
+                # even flipped which GETU case this install takes.
+                # Re-certify from the state at the body's own pop.
+                pred = (certify(core, K_LLOAD, addr0, plan.label, t, True)
+                        if cache.peek_line(line_no) is None else None)
+                if pred is None or pred < 0:
+                    # Fall back to the interpreted transaction: create
+                    # the frame the strict begin would have created and
+                    # fence at the body's start — the next pull yields
+                    # the first labeled access, replayed op by op.
+                    gen = op.fn(runner.ctx, *op.args)
+                    runner.frames.append(Frame(gen, op, True))
+                    runner.send = gen.send
+                    runner.pulled = None
+                    runner.pending_value = None
+                    fc["fmiss_revoked"] = fc.get("fmiss_revoked", 0) + 1
+                    fences += 1
+                    if fence is None or t < fence:
+                        fence = t
+                    continue
+                req = Requester(core, tx.ts, now=t)
+                res = msys.labeled_load(core, addr0, plan.label, req)
+                if res.abort_requester or res.aborted_victims:
+                    raise SimulationError(
+                        "certified fused install aborted a transaction; "
+                        "the certifier must decline these"
+                    )
+                entry = cache.peek_line(line_no)
+                # The remaining 2n-1 labeled ops replay closed form: the
+                # just-installed line L1-hits every one of them. The
+                # first store's copy-on-write snapshot feeds rollback
+                # (never taken — the real commit below clears it);
+                # spec_labeled was already set by the speculative
+                # install. One LRU touch stands in for all (idempotent).
+                cache.touch(line_no)
+                if entry.clean_words is None:
+                    entry.clean_words = list(entry.words)
+                entry.spec_labeled = True
+                entry.words = words = list(entry.words)
+                j = plan.idx0
+                for d in plan.deltas:
+                    words[j] += d
+                    j += 1
+                entry.dirty = True
+                dur = res.cycles + (2 * n - 1) * self._l1_lat \
+                    + self._tx_commit_cycles
+                n2 = 2 * n
+                instr_col[core] += n2
+                labeled_col[core] += n2
+                name = plan.label.name
+                by_label[name] = by_label.get(name, 0) + n2
+                breakdown[core].tx_committed += dur
+                tx.cycles_this_attempt += dur
+                htm.commit(core)  # commit_all clears the spec residue
+                tx = None
+                runner.pending_value = plan.value
+                cols.proto_ops += 1
+                if pred == res.cycles:
+                    cols.pred_hits += 1
+                else:
+                    cols.pred_misses += 1
+                fused_txs += 1
+                proto_mutated = True
+                self._fused_ok.clear()
             else:
                 spec = tx is not None
                 if kind == K_LOAD:
@@ -374,9 +711,13 @@ class VectorEngine(Engine):
                                        op.value, spec)
                 if fast is None:
                     # Classification guarantees a hit; if the protocol
-                    # disagrees, hold the op (still in runner.pulled) and
-                    # end the epoch: everything left on the heap starts
-                    # at or after this op, so nothing else may run first.
+                    # disagrees (an earlier protocol access invalidated
+                    # or downgraded the line), hold the op (still in
+                    # runner.pulled) and end the epoch: everything left
+                    # on the heap starts at or after this op, so nothing
+                    # else may run first.
+                    fc["fast_revoked"] = fc.get("fast_revoked", 0) + 1
+                    fences += 1
                     break
                 if kind == K_LOAD or kind == K_LLOAD:
                     value, dur = fast
@@ -397,6 +738,7 @@ class VectorEngine(Engine):
             cycles[core] = nt
             runner.pulled = None
             epoch_ops += 1
+            epoch_cycles += dur
 
             # --- pull and classify this core's next op ------------------
             # A non-local pull fences this core at its new time
@@ -427,8 +769,11 @@ class VectorEngine(Engine):
                         item[2] = [runner, core, self._tx_commit_cycles,
                                    K_COMMIT, None, stop.value, tx]
                         heappush(heap, item)
-                    elif fence is None or nt < fence:
-                        fence = nt
+                    else:
+                        fc["thread_finish"] = fc.get("thread_finish", 0) + 1
+                        fences += 1
+                        if fence is None or nt < fence:
+                            fence = nt
                 break
             if nop is None:
                 continue
@@ -438,48 +783,151 @@ class VectorEngine(Engine):
                 # add_one): the plan and its validated target are still
                 # exact, skip re-lowering. Never done for Work/memory
                 # ops — their shuttles mutate in place between yields.
-                item[0] = nt
-                heappush(heap, item)
-                continue
-            nrec = classify(runner, nop, tx)
-            if nrec is None:
-                if fence is None or nt < fence:
-                    fence = nt
-                continue
+                nrec = rec
+            else:
+                nrec = classify(runner, nop, tx)
+                if nrec is None:
+                    cause = self._decline
+                    fc[cause] = fc.get(cause, 0) + 1
+                    fences += 1
+                    if fence is None or nt < fence:
+                        fence = nt
+                    continue
             item[0] = nt
             item[2] = nrec
-            heappush(heap, item)
+            if heap and (heap[0][0] < nt
+                         or (heap[0][0] == nt and heap[0][1] < core)):
+                heappush(heap, item)
+            else:
+                pending = item
+
+        # A scheduled install body whose epoch ended before it popped
+        # must fall back to the interpreted transaction (its begin has
+        # already run): materialize the frame the strict begin would
+        # have created, so the next pull — strict or epoch — yields the
+        # transaction's first access.
+        for it in heap:
+            r = it[2]
+            if r[3] == K_FMISS_BODY:
+                rn = r[0]
+                fop = r[4]
+                gen = fop.fn(rn.ctx, *fop.args)
+                rn.frames.append(Frame(gen, fop, True))
+                rn.send = gen.send
+                rn.pulled = None
+                rn.pending_value = None
 
         if epoch_ops:
             stats = self.stats
             stats.host_vector_epochs += 1
             stats.host_vector_epoch_ops += epoch_ops
             stats.host_vector_fused_txs += fused_txs
-        return epoch_ops
+        return epoch_ops, epoch_cycles, fences
+
+    def _admit(self, runner, heap, fc) -> Optional[int]:
+        """Pull and classify one unblocked, unfinished core's next event.
+
+        Epoch-local events (including a pending restart or an inline
+        commit) are pushed onto ``heap`` and None is returned; anything
+        else bumps its cause in ``fc`` and returns the event's start time
+        so the caller can fence at it. Shared between the epoch's opening
+        scan and the in-epoch barrier release, which re-admits the whole
+        released wave mid-epoch."""
+        core = runner.core
+        tx = self._tx_active[core]
+        t = self._cycles[core]
+        if tx is not None and tx.aborted:
+            if self._restart_local:
+                # The restart executes at this core's heap-pop time —
+                # exactly where the strict scheduler would call
+                # _restart_tx — so the backoff rng draw happens in
+                # strict order and the retried transaction re-enters
+                # the epoch instead of fencing it.
+                heapq.heappush(heap, [t, core,
+                                      [runner, core, 0, K_RESTART, None,
+                                       None, tx]])
+                return None
+            fc["tx_restart"] = fc.get("tx_restart", 0) + 1
+            return t
+        op = runner.pulled
+        if op is None:
+            value = runner.pending_value
+            runner.pending_value = None
+            while True:
+                try:
+                    op = runner.send(value)
+                except StopIteration as stop:
+                    frames = runner.frames
+                    if len(frames) > 1 and not frames[-1].is_tx_root:
+                        # Plain nested generator: popping it is free
+                        # and invisible to every other core.
+                        frames.pop()
+                        runner.send = frames[-1].gen.send
+                        value = stop.value
+                        continue
+                    runner.pulled = op = _FINISHED
+                    runner.pulled_value = stop.value
+                break
+            if op is not _FINISHED:
+                runner.pulled = op
+        if op is _FINISHED:
+            # A pending frame-finish: an inline-committable tx root
+            # becomes a K_COMMIT record (the commit is a core-local
+            # event lasting tx_commit_cycles); thread completion and
+            # anything irregular stay strict-phase work.
+            frames = runner.frames
+            if (self._commit_local and len(frames) > 1
+                    and frames[-1].is_tx_root
+                    and tx is not None and not tx.aborted
+                    and not tx.lazy_written):
+                heapq.heappush(heap, [t, core,
+                                      [runner, core, self._tx_commit_cycles,
+                                       K_COMMIT, None, runner.pulled_value,
+                                       tx]])
+                return None
+            fc["thread_finish"] = fc.get("thread_finish", 0) + 1
+            return t
+        rec = self._classify(runner, op, tx)
+        if rec is None:
+            cause = self._decline
+            fc[cause] = fc.get(cause, 0) + 1
+            return t
+        heapq.heappush(heap, [t, core, rec])
+        return None
 
     # ------------------------------------------------------------------
 
     def _classify(self, runner, op, tx) -> Optional[list]:
         """Classify one held op as epoch-local, returning a record
         ``[runner, core, duration, kind, op, data, tx]`` with the *exact*
-        latency the op will charge, or None to park the epoch.
+        latency the op will charge, or None to park the epoch (with the
+        cause in ``self._decline`` for the fence histogram).
 
         This is a non-mutating mirror of the engine's routing rules plus
         the fast-path state checks in ``coherence/protocol.py``: only ops
         those fast paths would certainly service (and that cannot insert
         into the L1 while a transaction is active, so the LRU touch cannot
         self-abort) classify as local. Latency is precomputed from L1
-        residency, which only this core can change before execution."""
+        residency, which only this core can change before execution.
+        Non-transactional accesses the fast path would *miss* — misses,
+        S-upgrades, reductions, gathers — get a second chance through
+        :meth:`_certify_proto`: when the protocol transition is fully
+        determined by the current directory/sharer snapshot (no
+        speculative victims, no unsafe evictions, word-wise labels only),
+        they classify as K_PROTO and execute in-epoch through the real
+        handlers."""
         core = runner.core
         cls = op.__class__
         if cls is Work:
             dur = op.cycles
             if dur < 1:  # Work(0) could tie with a held op at exactly G
+                self._decline = "zero_work"
                 return None
             return [runner, core, dur, K_WORK, op, None, tx]
 
         if cls is Atomic:
             if tx is not None:
+                self._decline = "nested_atomic"
                 return None  # closed nesting pushes a zero-cost frame
             if self._commtm:
                 plan = lower_atomic(op)
@@ -493,9 +941,12 @@ class VectorEngine(Engine):
                     if entry is not None:
                         self._fused_ok[key] = entry
                         dur = self._fused_base + 2 * n * self._l1_lat
-                        data = (entry, plan.idx0, deltas, plan.label.name,
+                        data = (entry, plan.idx0, deltas, plan.label,
                                 plan.value)
                         return [runner, core, dur, K_FUSED, op, data, None]
+                    rec = self._classify_fused_miss(runner, core, op, plan, n)
+                    if rec is not None:
+                        return rec
             # Not fusible (no lowering, or the target line is not a
             # private hit yet): run the transaction *interpreted inside
             # the epoch*. The begin itself is local — it charges
@@ -503,6 +954,7 @@ class VectorEngine(Engine):
             # which is exactly the strict scheduler's draw order.
             dur = self._tx_begin_cycles
             if dur < 1:
+                self._decline = "zero_begin"
                 return None
             return [runner, core, dur, K_BEGIN, op, None, None]
 
@@ -518,39 +970,96 @@ class VectorEngine(Engine):
             kind = K_LSTORE if labeled else K_STORE
         elif cls is LoadGather:
             if labeled:
-                return None  # gathers always take the full protocol path
+                # Gathers always take the full protocol path; the
+                # certifier can still prove one epoch-safe.
+                addr = op.addr
+                if addr % 8:
+                    self._decline = "misaligned"
+                    return None
+                if self._certify_proto(core, K_GATHER, addr, op.label,
+                                       self._cycles[core],
+                                       tx is not None) is None:
+                    self._decline = ("tx_gather" if tx is not None
+                                     else "gather_unsafe")
+                    return None
+                return [runner, core, 1, K_PROTO, op, K_GATHER, tx]
             kind = K_LOAD
+        elif cls is Barrier:
+            if tx is not None:
+                # The strict path must raise TransactionError for this.
+                self._decline = "barrier"
+                return None
+            # Arrival blocks (or, for the last arriver, releases the
+            # whole wave) at heap-pop time; the stall is resolved and
+            # charged by _maybe_release_barrier itself.
+            return [runner, core, 0, K_BARRIER, op, None, None]
         else:
-            return None  # Barrier, OrderedAtomic, unknown ops
+            self._decline = "unhandled_op"
+            return None  # OrderedAtomic, unknown ops
 
         addr = op.addr
         if addr % 8:
+            self._decline = "misaligned"
             return None  # misaligned: slow path raises
         cache = self._caches[core]
         entry = cache.peek_line(addr // 64)
-        if entry is None:
+        hit = entry is not None
+        if hit:
+            st = entry.state
+            if kind == K_LOAD:
+                hit = st is _M or st is _E or st is _S
+            elif kind == K_STORE:
+                hit = st is _M or st is _E
+            else:  # K_LLOAD / K_LSTORE
+                hit = (st is _M or st is _E
+                       or (st is _U and entry.label is op.label))
+        if hit:
+            if entry.line in cache._l1:
+                dur = self._l1_lat
+            elif tx is not None:
+                # The touch would insert into the L1 and could evict a
+                # speculative line, aborting this core's own transaction —
+                # only the full path may take that step.
+                self._decline = "tx_l1_insert"
+                return None
+            else:
+                dur = self._l12_lat
+            return [runner, core, dur, kind, op, None, tx]
+        # Fast-path state check failed: a miss, an S-upgrade, or a
+        # non-commutative access to an own U line. The certifier may
+        # prove the transition deterministic — for speculative requesters
+        # that additionally means no victim can NACK (none speculative)
+        # and no self-abort through a speculative eviction.
+        if self._certify_proto(core, kind, addr,
+                               op.label if kind == K_LLOAD
+                               or kind == K_LSTORE else None,
+                               self._cycles[core], tx is not None) is None:
+            self._decline = ("tx_miss" if tx is not None
+                             else "miss_unsafe")
             return None
-        st = entry.state
-        if kind == K_LOAD:
-            if st is not _M and st is not _E and st is not _S:
-                return None
-        elif kind == K_STORE:
-            if st is not _M and st is not _E:
-                return None
-        else:  # K_LLOAD / K_LSTORE
-            if not (st is _M or st is _E
-                    or (st is _U and entry.label is op.label)):
-                return None
-        if entry.line in cache._l1:
-            dur = self._l1_lat
-        elif tx is not None:
-            # The touch would insert into the L1 and could evict a
-            # speculative line, aborting this core's own transaction —
-            # only the full path may take that step.
+        return [runner, core, 1, K_PROTO, op, kind, tx]
+
+    def _classify_fused_miss(self, runner, core: int, op, plan,
+                             n: int) -> Optional[list]:
+        """First-touch fusion: the plan's line is not local, but when the
+        GETU install itself certifies, the transaction still collapses —
+        into *two* records mirroring the strict event times (see
+        K_FMISS_BEGIN / K_FMISS_BODY). Only the true miss qualifies: a
+        private copy in any state means the strict first access would
+        take the fast path (different charge, no occupancy postlude)."""
+        begin = self._tx_begin_cycles
+        if begin < 1 or not self._commit_local:
             return None
-        else:
-            dur = self._l12_lat
-        return [runner, core, dur, kind, op, None, tx]
+        if plan.idx0 < 0 or plan.idx0 + n > 8:
+            return None
+        if self._caches[core].peek_line(plan.line) is not None:
+            return None
+        addr0 = plan.line * 64 + plan.idx0 * 8
+        pred = self._certify_proto(core, K_LLOAD, addr0, plan.label,
+                                   self._cycles[core] + begin, True)
+        if pred is None or pred < 0:
+            return None
+        return [runner, core, begin, K_FMISS_BEGIN, op, plan, None]
 
     def _validate_fused(self, core: int, plan, n: int):
         """Check a FusedPlan against this core's cache: line present and
@@ -571,6 +1080,310 @@ class VectorEngine(Engine):
         if plan.idx0 < 0 or plan.idx0 + n > len(entry.words):
             return None
         return entry
+
+    # ------------------------------------------------------------------
+    # Full-protocol certification (K_PROTO)
+    # ------------------------------------------------------------------
+
+    def _certify_proto(self, core: int, memkind: int, addr: int, label,
+                       now: int, spec: bool = False) -> Optional[int]:
+        """Decide whether one access that missed the private-hit fast
+        path may execute *inside* an epoch through the real protocol
+        handlers, and predict its closed-form latency.
+
+        Returns the predicted charge in cycles (``>= 0``), ``-1`` for a
+        transition that is certified deterministic but whose latency is
+        not worth predicting closed-form (reductions, gathers with
+        donors), or ``None`` to decline.
+
+        The certification invariant: the access must be *fully determined
+        by the current snapshot* and must not abort or NACK anyone —
+        every private copy it downgrades, invalidates, reduces, or splits
+        is non-speculative; every handler it runs is word-wise pure (no
+        HandlerContext memory traffic); every install it performs either
+        replaces an existing line or evicts a victim whose writeback is
+        deterministic (never a U line, whose eviction draws the rng and
+        may abort foreign transactions); and it never allocates an L3
+        entry when the directory is at capacity (an inclusive L3 eviction
+        can abort transactions). Within those bounds the executed
+        transition is the interpreted engine's own code running at the
+        op's strict execution point — bit-identical by construction.
+
+        The predicted latency mirrors ``_charge_dir_access`` /
+        ``_charge_inval_fanout`` / ``_forward_latency`` /
+        ``_apply_occupancy`` using only pure mesh geometry, and is
+        validated post-hoc against the authoritative protocol charge
+        (``host_vector_miss_predicted`` / ``_mispredicts``).
+
+        ``spec`` marks a transactional (speculative) requester. The same
+        transitions certify, with two extra obligations: no victim
+        anywhere may be speculative (a NACK would abort *us*, and which
+        of NACK/abort fires depends on timestamp order), and the L1
+        insert this access performs must not evict one of our own
+        speculatively-accessed lines (a self-abort)."""
+        msys = self.msys
+        config = self.config
+        cache = self._caches[core]
+        line_no = addr // 64
+        entry = cache.lookup(line_no)
+        directory = msys.directory
+        ent = directory.peek(line_no)
+        if spec and not self._l1_touch_safe(cache, line_no):
+            return None
+
+        if memkind == K_GATHER:
+            if not config.gather_enabled:
+                # Ablation: _gather delegates to _labeled_access.
+                return self._certify_proto(core, K_LLOAD, addr, label,
+                                           now, spec)
+            if entry is None:
+                return None  # acquire-U-then-gather: two transitions
+            st = entry.state
+            if st is _M or st is _E:
+                # _gather's acquire-U probe short-circuits to a plain
+                # labeled hit: the core already holds the full value.
+                return (self._l1_lat if line_no in cache._l1
+                        else self._l12_lat)
+            if (st is not _U or entry.label is not label
+                    or entry.speculative or entry.clean_words is not None):
+                return None
+            if ent is None or core not in ent.u_sharers:
+                return None
+            others = ent.u_sharers - {core}
+            if not others:
+                stall = max(0, msys._line_busy.get(line_no, 0) - now)
+                return (msys._dir_rt[core][line_no % msys._l3_banks]
+                        + config.l3.latency + stall
+                        + (self._l1_lat if line_no in cache._l1
+                           else self._l12_lat))
+            if label._split_word is None:
+                return None  # line-level splitters touch memory
+            for other in others:
+                oentry = msys.caches[other].lookup(line_no)
+                if oentry is None or oentry.speculative:
+                    return None
+            return -1  # split+merge latency: no closed form kept
+
+        # --- shared prediction pieces ---------------------------------
+        bank = line_no % msys._l3_banks
+        dir_rt = msys._dir_rt[core][bank]
+        l3lat = config.l3.latency
+        stall = max(0, msys._line_busy.get(line_no, 0) - now)
+        mesh = msys.mesh
+        caches = msys.caches
+        base = self._l12_lat + dir_rt + l3lat  # every miss route below
+
+        if entry is not None and entry.state is _U:
+            # Unlabeled (or differently-labeled) access to an own U line:
+            # _noncommutative_own_u.
+            if (memkind == K_LLOAD or memkind == K_LSTORE) \
+                    and entry.label is label:
+                # Matching-label labeled hit (only reachable via the
+                # disabled-gather delegation; the fast path owns it
+                # otherwise).
+                return (self._l1_lat if line_no in cache._l1
+                        else self._l12_lat)
+            return self._certify_own_u(core, line_no, entry, ent, now,
+                                       cache, stall)
+
+        if memkind == K_LOAD:
+            if entry is not None:
+                return None  # M/E/S load hits belong to the fast path
+            if ent is None:
+                if 0 < directory.num_lines <= len(directory._entries):
+                    return None  # allocation would force an L3 eviction
+                if not self._l2_install_safe(cache, line_no):
+                    return None
+                return base + config.mem_latency + stall
+            owner = ent.owner
+            if owner is not None:
+                if owner == core:
+                    return None  # directory/cache disagree; let it raise
+                oentry = caches[owner].lookup(line_no)
+                if oentry is None or oentry.spec_written \
+                        or oentry.spec_labeled:
+                    # spec_read-only owners downgrade without conflict.
+                    return None
+                if not self._l2_install_safe(cache, line_no):
+                    return None
+                fanout = mesh.max_latency_from(
+                    msys._bank_tile(line_no),
+                    [msys._core_tile(owner)]) * 2
+                fwd = mesh.latency(msys._core_tile(owner),
+                                   msys._core_tile(core))
+                return base + fanout + fwd + stall
+            if ent.u_sharers:
+                return self._certify_reduce(core, line_no, ent, cache)
+            if not self._l2_install_safe(cache, line_no):
+                return None
+            return base + stall  # E-if-unshared / S fill from the L3
+
+        if memkind == K_STORE:
+            if entry is not None and entry.state is not _S:
+                return None  # M/E store hits belong to the fast path
+            if ent is None:
+                if entry is not None:
+                    return None  # S copy without an L3 entry: inconsistent
+                if 0 < directory.num_lines <= len(directory._entries):
+                    return None
+                if not self._l2_install_safe(cache, line_no):
+                    return None
+                return base + config.mem_latency + stall
+            if ent.u_sharers:
+                return self._certify_reduce(core, line_no, ent, cache)
+            if ent.owner == core:
+                return None
+            victims = []
+            if ent.owner is not None:
+                victims.append(ent.owner)
+            victims.extend(s for s in ent.sharers if s != core)
+            fwd = 0
+            for victim in victims:
+                ventry = caches[victim].lookup(line_no)
+                if ventry is None or ventry.speculative:
+                    return None  # lost line raises; spec line conflicts
+                vst = ventry.state
+                if vst is _M or vst is _E:
+                    fwd = mesh.latency(msys._core_tile(victim),
+                                       msys._core_tile(core))
+            if entry is None and not self._l2_install_safe(cache, line_no):
+                return None  # an S copy upgrades in place, no install
+            fanout = 0
+            if victims:
+                fanout = mesh.max_latency_from(
+                    msys._bank_tile(line_no),
+                    [msys._core_tile(v) for v in victims]) * 2
+            return base + fanout + fwd + stall
+
+        # K_LLOAD / K_LSTORE miss (I or S): GETU, Sec. III-B3 cases 1-5.
+        if entry is not None and entry.state is not _S:
+            return None  # M/E and matching-U hits belong to the fast path
+        if ent is None:
+            if entry is not None:
+                return None  # S copy without an L3 entry: inconsistent
+            if 0 < directory.num_lines <= len(directory._entries):
+                return None
+            if not self._l2_install_safe(cache, line_no):
+                return None
+            return base + config.mem_latency + stall
+        if ent.u_sharers:
+            if ent.u_label is label:
+                # Case 4: same label -> identity install, no data moves.
+                if not self._l2_install_safe(cache, line_no):
+                    return None
+                return base + stall
+            if core in ent.u_sharers:
+                return None  # inconsistent with entry I/S; let it raise
+            # Case 3: reduce at the requester, re-enter U relabeled.
+            return self._certify_reduce(core, line_no, ent, cache)
+        owner = ent.owner
+        if owner is not None:
+            if owner == core:
+                return None
+            oentry = caches[owner].lookup(line_no)
+            if oentry is None or oentry.speculative:
+                return None  # case 5 NACK-checks *any* speculative bit
+            if not self._l2_install_safe(cache, line_no):
+                return None
+            fanout = mesh.max_latency_from(msys._bank_tile(line_no),
+                                           [msys._core_tile(owner)]) * 2
+            return base + fanout + stall  # owner keeps data: no forward
+        # Cases 1-2: invalidate S sharers, install the L3 data.
+        victims = [s for s in ent.sharers if s != core]
+        for victim in victims:
+            ventry = caches[victim].lookup(line_no)
+            if ventry is not None and ventry.speculative:
+                return None
+        if entry is None and not self._l2_install_safe(cache, line_no):
+            return None  # an own S copy is dropped first: no net growth
+        fanout = 0
+        if victims:
+            fanout = mesh.max_latency_from(
+                msys._bank_tile(line_no),
+                [msys._core_tile(v) for v in victims]) * 2
+        return base + fanout + stall
+
+    def _certify_own_u(self, core: int, line_no: int, entry, ent, now: int,
+                       cache, stall: int) -> Optional[int]:
+        """Certify ``_noncommutative_own_u``: an unlabeled or relabeling
+        access to a line this core holds in U. Sole sharer converts in
+        place (closed-form); multiple sharers reduce here (certified,
+        unpredicted)."""
+        if (entry.clean_words is not None or entry.spec_read
+                or entry.spec_written or entry.spec_labeled):
+            return None
+        if ent is None or core not in ent.u_sharers:
+            return None  # directory/cache disagree; let the full path raise
+        if len(ent.u_sharers) == 1:
+            msys = self.msys
+            return ((self._l1_lat if line_no in cache._l1
+                     else self._l12_lat)
+                    + msys._dir_rt[core][line_no % msys._l3_banks]
+                    + self.config.l3.latency + stall)
+        if ent.u_label._reduce_word is None:
+            return None
+        caches = self.msys.caches
+        for other in ent.u_sharers:
+            if other == core:
+                continue
+            oentry = caches[other].lookup(line_no)
+            if oentry is None or oentry.speculative:
+                return None
+        # _install_reduced replaces this core's own line: no growth.
+        return -1
+
+    def _certify_reduce(self, core: int, line_no: int, ent,
+                        cache) -> Optional[int]:
+        """Certify a reduction collapsing all U copies at a core that does
+        *not* hold the line: every sharer's copy present and
+        non-speculative (no NACK, no abort, no lost-line error), a
+        word-wise label (the fold never touches memory), and a safe
+        install of the merged line."""
+        label = ent.u_label
+        if label is None or label._reduce_word is None:
+            return None
+        caches = self.msys.caches
+        for sharer in ent.u_sharers:
+            if sharer == core:
+                return None  # own copy missed but directory says U: raise
+            sentry = caches[sharer].lookup(line_no)
+            if sentry is None or sentry.speculative:
+                return None
+        if not self._l2_install_safe(cache, line_no):
+            return None
+        return -1
+
+    def _l2_install_safe(self, cache, line_no: int) -> bool:
+        """True when installing ``line_no`` cannot trigger a
+        nondeterministic private eviction: the key already exists
+        (replace in place), there is headroom, or the LRU victim's
+        eviction is deterministic (M/E writeback, S drop — but not U,
+        whose eviction draws the rng and may abort foreign transactions,
+        and not a speculative line, whose eviction aborts)."""
+        lines = cache._lines
+        if line_no in lines:
+            return True
+        cap = cache._l2_capacity
+        if cap <= 0 or len(lines) < cap:
+            return True
+        victim = lines[next(iter(lines))]
+        return victim.state is not _U and not victim.speculative
+
+    def _l1_touch_safe(self, cache, line_no: int) -> bool:
+        """True when the L1 insert of ``line_no`` (every certified access
+        touches its target) cannot evict one of this core's own
+        speculatively-accessed lines, which would abort the requester's
+        transaction (Sec. III-B1). Only consulted for speculative
+        requesters — without a transaction this core has no speculative
+        lines to lose."""
+        l1 = cache._l1
+        if line_no in l1:
+            return True
+        cap = cache._l1_capacity
+        if cap <= 0 or len(l1) < cap:
+            return True
+        victim = cache._lines.get(next(iter(l1)))
+        return victim is None or not victim.speculative
 
     # ------------------------------------------------------------------
     # Strict phase
@@ -609,7 +1422,12 @@ class VectorEngine(Engine):
                     continue
                 stamp, core = heappop(heap)
                 while True:
-                    if done[core]:
+                    if done[core] or runners[core].blocked:
+                        # A blocked core's entry is a stray duplicate: an
+                        # in-epoch barrier release reschedules its waiters
+                        # while their pre-epoch entries still sit here.
+                        # Discarding is safe — every unblock path issues a
+                        # fresh reschedule.
                         if not heap:
                             break  # outer loop reports the drain
                         stamp, core = heappop(heap)
@@ -689,3 +1507,95 @@ class VectorEngine(Engine):
         finally:
             self.stats.host_runahead_batches += batches
             self.stats.host_runahead_ops += ops
+
+    def _strict_drain(self) -> None:
+        """Unbudgeted strict pass: run the rest of the simulation through
+        the run-ahead loop. Used when the adaptive gate rebinds a
+        non-engaging workload — the budgeted stepper's per-op accounting
+        (spent/budget compare, generator suspensions between bursts) is
+        pure overhead once no further epoch attempt will ever run, and on
+        a fence-bound workload this loop covers ~95% of the ops. A clone
+        of ``Engine._run_runahead`` with the two vector-state extensions:
+        held pulled ops are consumed first (discarded when their
+        transaction aborted — replay re-creates them), and a popped entry
+        for a blocked core is a stray duplicate from an in-epoch barrier
+        release, discarded the same way the stepper does."""
+        clocks = self.clocks
+        heap = clocks._heap
+        done = clocks._done
+        cycles = self._cycles
+        runners = self.runners
+        tx_active = self._tx_active
+        handlers = self._handlers
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        finished = _FINISHED
+        batches = 0
+        ops = 0
+
+        if not heap:
+            return
+        stamp, core = heappop(heap)
+        while True:
+            if done[core] or runners[core].blocked:
+                if not heap:
+                    break
+                stamp, core = heappop(heap)
+                continue
+            c = cycles[core]
+            if stamp < c:
+                if heap:
+                    stamp, core = heappushpop(heap, (c, core))
+                else:
+                    stamp = c
+                continue
+
+            runner = runners[core]
+            batches += 1
+            while True:
+                ops += 1
+                tx = tx_active[core]
+                if tx is not None and tx.aborted:
+                    runner.pulled = None
+                    runner.pulled_value = None
+                    self._restart_tx(runner, tx)
+                else:
+                    op = runner.pulled
+                    if op is not None:
+                        runner.pulled = None
+                        if op is finished:
+                            value = runner.pulled_value
+                            runner.pulled_value = None
+                            self._finish_frame(runner, value)
+                            op = finished
+                    else:
+                        value = runner.pending_value
+                        runner.pending_value = None
+                        try:
+                            op = runner.send(value)
+                        except StopIteration as stop:
+                            self._finish_frame(runner, stop.value)
+                            op = finished
+                    if op is not finished:
+                        try:
+                            handler = handlers[op.__class__]
+                        except KeyError:
+                            handler = self._resolve_handler(op)
+                        handler(runner, op)
+
+                if runner.blocked or done[core]:
+                    break
+                c = cycles[core]
+                if heap:
+                    top = heap[0]
+                    if c > top[0] or (c == top[0] and core > top[1]):
+                        stamp, core = heappushpop(heap, (c, core))
+                        break
+
+            if runner.blocked or done[runner.core]:
+                if not heap:
+                    break
+                stamp, core = heappop(heap)
+
+        self.stats.host_runahead_batches += batches
+        self.stats.host_runahead_ops += ops

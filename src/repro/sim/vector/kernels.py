@@ -106,3 +106,51 @@ def _register_builtins() -> None:
 
 
 _register_builtins()
+
+
+# ---------------------------------------------------------------------------
+# Batched reduction kernels
+#
+# A reduction folds the U sharers' partial lines one merge at a time on the
+# shadow thread. For word-wise pure labels the fold never consults the
+# HandlerContext, so the whole sharer vector can be lowered to one numpy
+# column reduction — provided the result is *bit-identical* to the
+# sequential fold. That holds exactly when (a) the label's word reducer is
+# associative and commutative on the data actually present, and (b) numpy's
+# int64 arithmetic cannot overflow where Python ints would not. The
+# registry below therefore keys on a per-label ``vector_reduce`` tag set by
+# the label factories that satisfy (a) — ADD, MIN, MAX — and
+# :func:`reduce_lines` declines (returns None, sequential fallback) any
+# line set that violates (b): non-int words (OPUT tuples, MIN/MAX ``None``
+# identities, floats) or magnitudes near the int64 range.
+# ---------------------------------------------------------------------------
+
+import numpy as np  # noqa: E402  (the vector package guarantees numpy)
+
+#: Magnitude bound per word: |v| <= 2**48 keeps any sum of up to 2**14
+#: lines inside int64 exactly.
+_KERNEL_BOUND = 1 << 48
+
+#: tag -> column reducer over an (nrows, words) int64 array.
+_REDUCERS = {
+    "add": lambda arr: arr.sum(axis=0),
+    "min": lambda arr: arr.min(axis=0),
+    "max": lambda arr: arr.max(axis=0),
+}
+
+
+def reduce_lines(label, rows):
+    """Fold ``rows`` (full-line word lists) under ``label`` in one numpy
+    pass. Returns the merged word list, or None to decline — unknown
+    label, fewer than two rows, or data the kernel cannot reproduce
+    bit-for-bit (non-int words, out-of-range magnitudes)."""
+    reducer = _REDUCERS.get(getattr(label, "vector_reduce", None))
+    if reducer is None or len(rows) < 2:
+        return None
+    bound = _KERNEL_BOUND
+    for row in rows:
+        for v in row:
+            if type(v) is not int or not -bound <= v <= bound:
+                return None
+    out = reducer(np.asarray(rows, dtype=np.int64))
+    return [int(v) for v in out]

@@ -81,21 +81,27 @@ def test_run_points_dedupes_identical_specs():
     assert other.cycles != 0
 
 
-def test_serial_and_parallel_sweeps_identical():
+def test_serial_and_parallel_sweeps_identical(monkeypatch):
+    from repro.harness import parallel as par
+
     specs = [_counter_spec(t, commtm=c, total_ops=40)
              for t in (1, 2) for c in (False, True)]
     serial = run_points(specs, jobs=1)
-    # serial_threshold=0 forces the pool despite the small spec count, so
-    # this test keeps exercising the real worker path.
+    # serial_threshold=0 forces the pool despite the small spec count,
+    # and the pinned CPU count keeps the worker path exercised on
+    # single-CPU hosts (where the affinity clamp would otherwise fall
+    # back to the serial loop).
+    monkeypatch.setattr(par, "_available_cpus", lambda: 4)
     parallel = run_points(specs, jobs=4, serial_threshold=0)
     assert [r.cycles for r in serial] == [r.cycles for r in parallel]
     assert [r.stats.summary() for r in serial] \
         == [r.stats.summary() for r in parallel]
 
 
-def test_pool_persists_across_sweeps():
+def test_pool_persists_across_sweeps(monkeypatch):
     from repro.harness import parallel as par
 
+    monkeypatch.setattr(par, "_available_cpus", lambda: 4)
     specs = [_counter_spec(t, commtm=c, total_ops=40)
              for t in (1, 2) for c in (False, True)]
     run_points(specs, jobs=2, serial_threshold=0)
@@ -111,6 +117,49 @@ def test_pool_persists_across_sweeps():
     assert par._pool is None
 
 
+def test_oversubscribed_jobs_run_serially(caplog, monkeypatch):
+    """More workers than available CPUs is a strict loss (same serial
+    work plus dispatch): the clamp must keep the pool out of it and say
+    so once."""
+    from repro.harness import parallel as par
+
+    monkeypatch.setattr(par, "_available_cpus", lambda: 1)
+
+    def boom(jobs):
+        raise AssertionError("pool used despite a one-CPU affinity mask")
+
+    monkeypatch.setattr(par, "get_pool", boom)
+    specs = [_counter_spec(t, commtm=c, total_ops=40)
+             for t in (1, 2) for c in (False, True)]
+    with caplog.at_level("INFO", logger="repro.harness"):
+        results = run_points(specs, jobs=4, serial_threshold=0)
+    assert len(results) == 4
+    assert any("one CPU" in r.message for r in caplog.records)
+
+
+def test_partition_specs_balances_and_covers():
+    from repro.harness.parallel import estimate_cost, partition_specs
+
+    specs = [_counter_spec(t, commtm=c, total_ops=100 * t)
+             for t in (1, 2, 3, 4) for c in (False, True)]
+    buckets = partition_specs(specs, 3)
+    flat = sorted(i for bucket in buckets for i in bucket)
+    assert flat == list(range(len(specs)))  # exact cover, no duplicates
+    loads = [sum(estimate_cost(specs[i]) for i in bucket)
+             for bucket in buckets]
+    # LPT guarantee: no bucket exceeds the ideal share by more than the
+    # largest single item.
+    ideal = sum(loads) / len(loads)
+    largest = max(estimate_cost(s) for s in specs)
+    assert max(loads) <= ideal + largest
+    # Degenerate shapes: more buckets than specs, and a single bucket.
+    assert partition_specs(specs[:2], 8) == [[1], [0]] \
+        or len(partition_specs(specs[:2], 8)) == 2
+    assert partition_specs(specs, 1) == [sorted(
+        range(len(specs)), key=lambda i: estimate_cost(specs[i]),
+        reverse=True)]
+
+
 def test_small_sweep_falls_back_to_serial(caplog, monkeypatch):
     from repro.harness import parallel as par
 
@@ -118,6 +167,7 @@ def test_small_sweep_falls_back_to_serial(caplog, monkeypatch):
         raise AssertionError("pool used for a below-threshold sweep")
 
     monkeypatch.setattr(par, "get_pool", boom)
+    monkeypatch.setattr(par, "_available_cpus", lambda: 4)
     specs = [_counter_spec(t, commtm=c, total_ops=40)
              for t in (1, 2) for c in (False, True)]
     with caplog.at_level("INFO", logger="repro.harness"):

@@ -6,11 +6,13 @@ hits, think time, fused commutative transactions, interpreted tx
 begin/commit under eager detection) off a min-start heap, interleaved
 with strict per-op phases for everything else. It is a host-side
 optimization only: every simulated quantity must be *bit-identical* to
-the interpreted engine. These tests run every micro workload (plus the
-kmeans app and a randomized op mix) under both backends and compare per
--thread cycles, ``parallel_cycles``, and the full ``Stats.comparable()``
-dict — the same differential oracle the run-ahead scheduler is held to
-in tests/test_runahead_equivalence.py.
+the interpreted engine. These tests run all ten workloads — the five
+micros and the five ported applications (kmeans, vacation, ssca2,
+genome, boruvka) — under both systems (CommTM and the baseline HTM),
+plus a randomized op mix, and compare per-thread cycles,
+``parallel_cycles``, and the full ``Stats.comparable()`` dict — the
+same differential oracle the run-ahead scheduler is held to in
+tests/test_runahead_equivalence.py.
 
 Composition is covered too: the per-op layers (coherence sanitizer, obs)
 force the vector engine to delegate whole runs to the interpreted path
@@ -29,7 +31,7 @@ from repro.obs import OBS_ENV
 from repro.runtime.ops import BARRIER, Atomic
 from repro.sim.engine import NO_FASTPATH_ENV, NO_RUNAHEAD_ENV
 from repro.sim.vector import BACKEND_ENV, available
-from repro.workloads.apps import kmeans
+from repro.workloads.apps import boruvka, genome, kmeans, ssca2, vacation
 from repro.workloads.micro import (counter, linked_list, ordered_put,
                                    refcount, topk)
 from repro.workloads.micro.common import BuiltWorkload
@@ -43,6 +45,20 @@ MICROS = {
     "ordered_put": ordered_put.build,
     "linked_list": linked_list.build,
     "refcount": refcount.build,
+}
+
+#: The five ported applications at differential-oracle scale: big enough
+#: that every fence class fires (misses, barriers, restarts, gathers,
+#: resizes, thread finish), small enough to run the full 10-workload x
+#: 2-system matrix in tier 1. ``total_ops=None`` opts the apps out of the
+#: micro-only default in ``_run``.
+APPS = {
+    "boruvka": (boruvka.build, dict(num_nodes=48)),
+    "genome": (genome.build, dict(num_segments=160, gene_length=256,
+                                  initial_buckets=16)),
+    "kmeans": (kmeans.build, dict(num_points=64, clusters=4, iterations=2)),
+    "ssca2": (ssca2.build, dict(scale=5, edge_factor=3)),
+    "vacation": (vacation.build, dict(num_tasks=96, relations=32)),
 }
 
 
@@ -97,22 +113,26 @@ def test_vector_is_bit_identical(name, commtm, seed, monkeypatch):
     assert vector.stats.host_vector_epoch_ops > 0
 
 
-def test_vector_is_bit_identical_on_kmeans(monkeypatch):
-    """The kmeans app mixes fused commutative transactions with reduction
-    resets, barriers, and first-touch misses — the densest fence profile
-    of any workload in the repo."""
-    params = dict(num_points=64, clusters=4, iterations=2, total_ops=None)
-    for commtm in (True, False):
-        interp = _run(kmeans.build, backend="interp", commtm=commtm,
-                      seed=1, monkeypatch=monkeypatch, **params)
-        vector = _run(kmeans.build, backend="vector", commtm=commtm,
-                      seed=1, monkeypatch=monkeypatch, **params)
-        _assert_parity(interp, vector)
-        assert vector.stats.host_vector_epochs > 0
-        if commtm:
-            # The accumulate transaction lowers through the fused-plan
-            # registry, so the closed form must actually fire.
-            assert vector.stats.host_vector_fused_txs > 0
+@pytest.mark.parametrize("commtm", [True, False],
+                         ids=["commtm", "baseline"])
+@pytest.mark.parametrize("name", sorted(APPS))
+def test_vector_is_bit_identical_on_apps(name, commtm, monkeypatch):
+    """The full application matrix under both systems. kmeans mixes fused
+    commutative transactions with reduction resets, barriers, and
+    first-touch misses — the densest fence profile in the repo; genome and
+    vacation bring hash-table gathers and resizes, ssca2 and boruvka bring
+    irregular graph footprints with MIN-labeled reductions."""
+    build, params = APPS[name]
+    interp = _run(build, backend="interp", commtm=commtm, seed=1,
+                  monkeypatch=monkeypatch, total_ops=None, **params)
+    vector = _run(build, backend="vector", commtm=commtm, seed=1,
+                  monkeypatch=monkeypatch, total_ops=None, **params)
+    _assert_parity(interp, vector)
+    assert vector.stats.host_vector_epochs > 0
+    if name == "kmeans" and commtm:
+        # The accumulate transaction lowers through the fused-plan
+        # registry, so the closed form must actually fire.
+        assert vector.stats.host_vector_fused_txs > 0
 
 
 def _random_mix(machine, num_threads: int, iters: int = 60) -> BuiltWorkload:

@@ -40,6 +40,24 @@ RUN_MAPS = (
     ("single_run_ops_per_sec_vector", "vector"),
 )
 
+#: Per-workload floors for the interleaved interp-vs-vector speedup
+#: (``backend_ab[name].speedup``). Unlike the ops/sec comparison these
+#: are absolute: the ratio interleaves both backends in one process, so
+#: host speed cancels and the floor holds across machines. kmeans and
+#: the CommTM counter must keep their epoch-path wins; the baseline
+#: counter never engages epochs, so its floor asserts the adaptive gate
+#: keeps the backend within noise of the interpreted engine rather than
+#: regressing behind it.
+VECTOR_SPEEDUP_FLOORS = {
+    "counter_commtm": 5.0,
+    "counter_baseline": 0.98,
+    "kmeans_commtm": 1.3,
+}
+
+#: Smoke configs run points too short for the ratios to stabilize (the
+#: epoch path amortizes per-run setup); floors are held with this slack.
+SMOKE_FLOOR_SLACK = 0.5
+
 
 def check(baseline: dict, fresh: dict) -> list:
     """Warning strings for every entry that regressed past THRESHOLD."""
@@ -74,6 +92,23 @@ def check(baseline: dict, fresh: dict) -> list:
                     f"[{backend}] {name}: {fresh_ops:,} ops/s is {drop:.0%} "
                     f"below the baseline {base_ops:,} ops/s "
                     f"(threshold {THRESHOLD:.0%})")
+
+    ab = fresh.get("backend_ab", {})
+    if ab:
+        slack = SMOKE_FLOOR_SLACK if fresh.get("smoke") else 1.0
+        for name, floor in sorted(VECTOR_SPEEDUP_FLOORS.items()):
+            entry = ab.get(name)
+            if entry is None:
+                warnings.append(
+                    f"[vector] {name}: no backend_ab speedup measured "
+                    f"(floor {floor}x)")
+                continue
+            speedup = entry.get("speedup", 0)
+            if speedup < floor * slack:
+                warnings.append(
+                    f"[vector] {name}: interp-vs-vector speedup "
+                    f"{speedup}x is below the floor {floor}x"
+                    + (f" (smoke slack {slack})" if slack != 1.0 else ""))
     return warnings
 
 
