@@ -37,6 +37,13 @@ class Finding:
         label = f" (label {self.label})" if self.label else ""
         return f"{where}{self.severity}: {tag}{label} {self.message}"
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (schema ``repro-analysis/1``): every field,
+        with ``pass_name`` exported as ``pass``."""
+        return {"pass": self.pass_name, "check": self.check,
+                "severity": self.severity, "message": self.message,
+                "label": self.label, "file": self.file, "line": self.line}
+
 
 def format_findings(findings: List[Finding]) -> str:
     return "\n".join(f.format() for f in findings)

@@ -1,0 +1,183 @@
+"""The MESI+U invariant suite — one definition, two consumers.
+
+CommTM extends MESI with the U state, and every protocol transition must
+preserve the invariants of Sec. III-B (Fig. 6):
+
+* **single writer** — at most one M/E holder per line, and no other
+  copies while one exists;
+* **no S/U mixing** — S and U never coexist with M/E, and S never
+  coexists with U;
+* **label agreement** — every U sharer of a line holds it under the same
+  label, which is the directory's ``u_label``;
+* **directory inclusion** — the directory's owner/sharer/U-sharer sets
+  exactly match the lines the private caches actually hold, in both
+  directions.
+
+:func:`check_invariants` sweeps one machine and returns *all* violations
+as :class:`~repro.analysis.findings.Finding` records.  It is consumed by
+two tiers with different reporting disciplines:
+
+* the runtime sanitizer (``REPRO_SANITIZE=1``) raises
+  :class:`~repro.errors.SanitizerError` on the first finding after every
+  memory operation of a real run; and
+* the exhaustive model checker (``python -m repro.analysis modelcheck``)
+  evaluates the suite on *every reachable state* of a bounded config and
+  attaches a replayable counterexample trace to each finding.
+
+Keeping the sweep here means a new invariant (or a fixed message) lands
+in both tiers at once — the checker can never drift from what the
+sanitizer enforces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..coherence.states import State
+from .findings import ERROR, Finding
+
+#: Check names the suite can emit, in sweep order — documentation and
+#: test surface for the enforcement-tier table in PROTOCOL.md.
+INVARIANT_CHECKS = (
+    "multiple-owners",
+    "owner-with-sharers",
+    "s-u-coexist",
+    "u-label-disagreement",
+    "missing-directory-entry",
+    "directory-mismatch",
+    "directory-mixed-sets",
+    "u-without-label",
+    "stale-owner",
+    "stale-sharer",
+    "stale-u-sharer",
+)
+
+
+def check_invariants(msys, pass_name: str = "invariants") -> List[Finding]:
+    """Sweep every cache and the directory of ``msys`` for MESI+U
+    invariant violations and return them all (empty list = clean).
+
+    Reads cache and directory internals directly (``_lines``,
+    ``_entries``) so the sweep itself cannot perturb LRU order or
+    stats.  ``pass_name`` tags the findings with the consuming tier
+    ("sanitizer", "modelcheck", ...).
+    """
+    findings: List[Finding] = []
+
+    def fail(check: str, line_no: Optional[int], message: str) -> None:
+        findings.append(Finding(
+            pass_name=pass_name, check=check, severity=ERROR,
+            message=message,
+            label=None if line_no is None else hex(line_no)))
+
+    caches = msys.caches
+
+    # Cache-side view: line -> {core: CacheLine} for every valid copy.
+    holders = {}
+    for cache in caches:
+        for line_no, cl in cache._lines.items():
+            if cl.state is State.I:
+                continue
+            holders.setdefault(line_no, {})[cache.core] = cl
+
+    for line_no, by_core in holders.items():
+        owners = [c for c, cl in by_core.items()
+                  if cl.state in (State.M, State.E)]
+        s_sharers = [c for c, cl in by_core.items()
+                     if cl.state is State.S]
+        u_sharers = [c for c, cl in by_core.items()
+                     if cl.state is State.U]
+        if len(owners) > 1:
+            fail("multiple-owners", line_no,
+                 f"line {line_no:#x} held M/E by cores {owners}")
+        if owners and (s_sharers or u_sharers):
+            fail("owner-with-sharers", line_no,
+                 f"line {line_no:#x} held M/E by core "
+                 f"{owners[0]} while cores "
+                 f"{sorted(s_sharers + u_sharers)} hold S/U "
+                 f"copies")
+        if s_sharers and u_sharers:
+            fail("s-u-coexist", line_no,
+                 f"line {line_no:#x} held S by {s_sharers} and "
+                 f"U by {u_sharers}")
+        if u_sharers:
+            labels = {id(by_core[c].label): by_core[c].label
+                      for c in u_sharers}
+            if len(labels) > 1 or None in {
+                    by_core[c].label for c in u_sharers}:
+                names = {c: getattr(by_core[c].label, "name", None)
+                         for c in u_sharers}
+                fail("u-label-disagreement", line_no,
+                     f"line {line_no:#x} U sharers disagree on "
+                     f"label: {names}")
+
+        ent = msys.directory._entries.get(line_no)
+        if ent is None:
+            fail("missing-directory-entry", line_no,
+                 f"line {line_no:#x} held by cores "
+                 f"{sorted(by_core)} but the directory has no "
+                 f"entry (inclusion violated)")
+            continue  # the entry-dependent checks below need ``ent``
+        # Directory membership must match each copy's actual state.
+        for core, cl in by_core.items():
+            dir_state = ent.private_state_of(core)
+            cache_kind = State.M if cl.state is State.E else cl.state
+            dir_kind = State.M if dir_state is State.E else dir_state
+            if cache_kind is not dir_kind:
+                fail("directory-mismatch", line_no,
+                     f"line {line_no:#x}: core {core} caches it "
+                     f"in {cl.state.value} but the directory "
+                     f"records {dir_state.value}")
+        if u_sharers and ent.u_label is not None:
+            cached = by_core[u_sharers[0]].label
+            if cached is not None and cached is not ent.u_label \
+                    and getattr(cached, "name", None) \
+                    != getattr(ent.u_label, "name", None):
+                fail("u-label-disagreement", line_no,
+                     f"line {line_no:#x}: caches hold U under "
+                     f"label {getattr(cached, 'name', cached)!r} "
+                     f"but directory records "
+                     f"{getattr(ent.u_label, 'name', None)!r}")
+
+    # Directory-side view: every recorded copy must exist in a cache.
+    for line_no, ent in msys.directory._entries.items():
+        kinds = sum(1 for flag in (ent.owner is not None,
+                                   bool(ent.sharers),
+                                   bool(ent.u_sharers)) if flag)
+        if kinds > 1:
+            fail("directory-mixed-sets", line_no,
+                 f"line {line_no:#x}: directory entry has "
+                 f"multiple sharer kinds (owner={ent.owner}, "
+                 f"S={sorted(ent.sharers)}, "
+                 f"U={sorted(ent.u_sharers)})")
+        if ent.u_sharers and ent.u_label is None:
+            fail("u-without-label", line_no,
+                 f"line {line_no:#x}: directory records U "
+                 f"sharers {sorted(ent.u_sharers)} with no "
+                 f"label")
+        cached = holders.get(line_no, {})
+        if ent.owner is not None:
+            cl = cached.get(ent.owner)
+            if cl is None or cl.state not in (State.M, State.E):
+                fail("stale-owner", line_no,
+                     f"line {line_no:#x}: directory owner is "
+                     f"core {ent.owner} but that cache holds "
+                     f"{cl.state.value if cl else 'nothing'}")
+        for core in ent.sharers:
+            cl = cached.get(core)
+            if cl is None or cl.state is not State.S:
+                fail("stale-sharer", line_no,
+                     f"line {line_no:#x}: directory records "
+                     f"core {core} as an S sharer but that "
+                     f"cache holds "
+                     f"{cl.state.value if cl else 'nothing'}")
+        for core in ent.u_sharers:
+            cl = cached.get(core)
+            if cl is None or cl.state is not State.U:
+                fail("stale-u-sharer", line_no,
+                     f"line {line_no:#x}: directory records "
+                     f"core {core} as a U sharer but that "
+                     f"cache holds "
+                     f"{cl.state.value if cl else 'nothing'}")
+
+    return findings

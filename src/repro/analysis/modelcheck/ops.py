@@ -1,0 +1,115 @@
+"""Per-label op alphabets for the model checker.
+
+Each registered datatype label induces a small alphabet of protocol-level
+operations per tracked line.  The checker explores every interleaving of
+these ops across cores, so the alphabet is the sole interface between
+"what programs can do" and "what states are reachable":
+
+* every label gets the conventional accesses (``load``, and ``store``
+  for word-wise labels) — these drive reductions, invalidations, and
+  owner downgrades against labeled state;
+* word-wise labels get ``update(v)`` — the datatype-shaped commutative
+  read-modify-write (a labeled load followed by a labeled store of
+  ``reduce_word(current, v)``), which is exactly how SharedCounter.add,
+  min/max updates, ordered put, and Bloom OR issue their labeled
+  traffic — with two distinct operand values so non-commutative
+  interleavings are observable;
+* word-wise labels with a splitter additionally get ``gather``
+  (Sec. IV), which redistributes partials without changing the reduced
+  value;
+* line-level labels (TOPK, LIST), whose reducers/splitters move real
+  memory through a HandlerContext and need datatype-maintained heap/node
+  structure, are explored with ``labeled_load`` + ``load`` only: enough
+  to reach every U-state directory shape (GETU cases 1-5 against S
+  copies, reductions on plain loads) without fabricating descriptors the
+  datatype never writes.  PROTOCOL.md documents this bound.
+
+Every op executes through the *real* public handlers of
+:class:`~repro.coherence.protocol.MemorySystem` with a non-speculative
+requester at ``now=0`` — the checker explores protocol state, not HTM
+scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...coherence.messages import Requester
+from ...params import LINE_BYTES
+
+#: Operand values for ``update`` ops, per label name.  Two distinct
+#: values per label so ordering effects are observable; OPUT carries
+#: (key, value) pairs with distinct keys so the winner is
+#: order-independent by the label's own law (lowest key wins).
+UPDATE_VALUES = {
+    "ADD": (1, 2),
+    "MIN": (4, 7),
+    "MAX": (4, 7),
+    "OPUT": ((1, 11), (2, 22)),
+    "OR": (1, 2),
+}
+
+#: Operand for plain ``store`` ops (OPUT lines must hold pairs, not
+#: ints, or a later reduction would fail on ``a[0]``).
+STORE_VALUES = {"OPUT": (3, 33)}
+
+
+class Op:
+    """One protocol-level operation on one tracked line."""
+
+    __slots__ = ("kind", "line", "value", "text", "is_labeled")
+
+    def __init__(self, kind: str, line: int, value=None):
+        self.kind = kind
+        self.line = line
+        self.value = value
+        #: Labeled ops participate in the commutativity obligation.
+        self.is_labeled = kind in ("update", "gather", "labeled_load")
+        if value is None:
+            self.text = f"{kind}[L{line}]"
+        else:
+            self.text = f"{kind}({value!r})[L{line}]"
+
+    def __repr__(self) -> str:
+        return f"Op({self.text})"
+
+
+def alphabet(label, lines: int) -> List[Op]:
+    """The op alphabet for ``label`` over ``lines`` tracked lines."""
+    ops: List[Op] = []
+    for line in range(lines):
+        ops.append(Op("load", line))
+        if label._reduce_word is not None:
+            ops.append(Op("store", line, STORE_VALUES.get(label.name, 3)))
+            for v in UPDATE_VALUES.get(label.name, (1, 2)):
+                ops.append(Op("update", line, v))
+            if label.supports_gather and label._split_word is not None:
+                ops.append(Op("gather", line))
+        else:
+            ops.append(Op("labeled_load", line))
+    return ops
+
+
+def apply_op(msys, label, core: int, op: Op):
+    """Execute ``op`` on ``core`` through the real public handlers.
+    Returns the final :class:`~repro.coherence.messages.AccessResult`."""
+    addr = op.line * LINE_BYTES
+    kind = op.kind
+    if kind == "load":
+        return msys.load(core, addr, Requester(core=core, ts=None, now=0))
+    if kind == "store":
+        return msys.store(core, addr, op.value,
+                          Requester(core=core, ts=None, now=0))
+    if kind == "labeled_load":
+        return msys.labeled_load(core, addr, label,
+                                 Requester(core=core, ts=None, now=0))
+    if kind == "gather":
+        return msys.load_gather(core, addr, label,
+                                Requester(core=core, ts=None, now=0))
+    if kind == "update":
+        res = msys.labeled_load(core, addr, label,
+                                Requester(core=core, ts=None, now=0))
+        merged = label._reduce_word(res.value, op.value)
+        return msys.labeled_store(core, addr, label, merged,
+                                  Requester(core=core, ts=None, now=0))
+    raise ValueError(f"unknown op kind {kind!r}")

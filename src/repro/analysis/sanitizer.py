@@ -11,7 +11,9 @@ plus PR 2's private-hit fast path — must preserve the MESI+U invariants
 * the directory's owner/sharer/U-sharer sets exactly match the lines the
   private caches actually hold (directory inclusion, both directions).
 
-The sanitizer sweeps all caches and the directory after each memory
+The invariant sweep itself is shared with the exhaustive model checker
+(see :mod:`repro.analysis.invariants`); this module owns the runtime
+discipline. The sanitizer sweeps all caches and the directory after each memory
 operation when enabled via ``--sanitize`` or ``REPRO_SANITIZE=1``; a
 violation raises :class:`~repro.errors.SanitizerError` naming the line,
 cores, and states involved. When disabled nothing is installed — the
@@ -24,9 +26,9 @@ from __future__ import annotations
 import os
 from typing import List, Optional
 
-from ..coherence.states import State
 from ..errors import SanitizerError
 from .findings import ERROR, Finding
+from .invariants import check_invariants
 
 #: Set to 1/true/yes to enable the sanitizer for any run (CLI, tests,
 #: benchmarks) without plumbing a flag through.
@@ -41,136 +43,32 @@ def sanitize_enabled(default: bool = False) -> bool:
 
 
 class CoherenceSanitizer:
-    """Sweeps one machine's caches + directory for invariant violations."""
+    """Sweeps one machine's caches + directory for invariant violations.
+
+    The sweep itself lives in :mod:`repro.analysis.invariants` — the same
+    definition the exhaustive model checker evaluates on every reachable
+    state of its bounded configs.  This class adds the runtime reporting
+    discipline: raise on the first violation, count checkpoints.
+    """
 
     def __init__(self, msys):
         self.msys = msys
         self.checks_run = 0
         self.violations = 0
 
-    def _fail(self, check: str, line_no: Optional[int], message: str) -> None:
-        self.violations += 1
-        finding = Finding(pass_name="sanitizer", check=check, severity=ERROR,
-                          message=message,
-                          label=None if line_no is None else hex(line_no))
-        raise SanitizerError(finding.format())
-
     def check(self) -> None:
         """Assert every MESI+U invariant over the whole machine.
 
-        Reads cache and directory internals directly (``_lines``,
-        ``_entries``) so the sweep itself cannot perturb LRU order or
-        stats."""
+        Delegates to :func:`~repro.analysis.invariants.check_invariants`
+        and raises :class:`~repro.errors.SanitizerError` with the first
+        finding's formatted message (a run stops at the first corrupted
+        checkpoint; the full list is only meaningful to the offline
+        checker)."""
         self.checks_run += 1
-        msys = self.msys
-        caches = msys.caches
-
-        # Cache-side view: line -> {core: CacheLine} for every valid copy.
-        holders = {}
-        for cache in caches:
-            for line_no, cl in cache._lines.items():
-                if cl.state is State.I:
-                    continue
-                holders.setdefault(line_no, {})[cache.core] = cl
-
-        for line_no, by_core in holders.items():
-            owners = [c for c, cl in by_core.items()
-                      if cl.state in (State.M, State.E)]
-            s_sharers = [c for c, cl in by_core.items()
-                         if cl.state is State.S]
-            u_sharers = [c for c, cl in by_core.items()
-                         if cl.state is State.U]
-            if len(owners) > 1:
-                self._fail("multiple-owners", line_no,
-                           f"line {line_no:#x} held M/E by cores {owners}")
-            if owners and (s_sharers or u_sharers):
-                self._fail("owner-with-sharers", line_no,
-                           f"line {line_no:#x} held M/E by core "
-                           f"{owners[0]} while cores "
-                           f"{sorted(s_sharers + u_sharers)} hold S/U "
-                           f"copies")
-            if s_sharers and u_sharers:
-                self._fail("s-u-coexist", line_no,
-                           f"line {line_no:#x} held S by {s_sharers} and "
-                           f"U by {u_sharers}")
-            if u_sharers:
-                labels = {id(by_core[c].label): by_core[c].label
-                          for c in u_sharers}
-                if len(labels) > 1 or None in {
-                        by_core[c].label for c in u_sharers}:
-                    names = {c: getattr(by_core[c].label, "name", None)
-                             for c in u_sharers}
-                    self._fail("u-label-disagreement", line_no,
-                               f"line {line_no:#x} U sharers disagree on "
-                               f"label: {names}")
-
-            ent = msys.directory._entries.get(line_no)
-            if ent is None:
-                self._fail("missing-directory-entry", line_no,
-                           f"line {line_no:#x} held by cores "
-                           f"{sorted(by_core)} but the directory has no "
-                           f"entry (inclusion violated)")
-            # Directory membership must match each copy's actual state.
-            for core, cl in by_core.items():
-                dir_state = ent.private_state_of(core)
-                cache_kind = State.M if cl.state is State.E else cl.state
-                dir_kind = State.M if dir_state is State.E else dir_state
-                if cache_kind is not dir_kind:
-                    self._fail("directory-mismatch", line_no,
-                               f"line {line_no:#x}: core {core} caches it "
-                               f"in {cl.state.value} but the directory "
-                               f"records {dir_state.value}")
-            if u_sharers and ent.u_label is not None:
-                cached = by_core[u_sharers[0]].label
-                if cached is not None and cached is not ent.u_label \
-                        and getattr(cached, "name", None) \
-                        != getattr(ent.u_label, "name", None):
-                    self._fail("u-label-disagreement", line_no,
-                               f"line {line_no:#x}: caches hold U under "
-                               f"label {getattr(cached, 'name', cached)!r} "
-                               f"but directory records "
-                               f"{getattr(ent.u_label, 'name', None)!r}")
-
-        # Directory-side view: every recorded copy must exist in a cache.
-        for line_no, ent in msys.directory._entries.items():
-            kinds = sum(1 for flag in (ent.owner is not None,
-                                       bool(ent.sharers),
-                                       bool(ent.u_sharers)) if flag)
-            if kinds > 1:
-                self._fail("directory-mixed-sets", line_no,
-                           f"line {line_no:#x}: directory entry has "
-                           f"multiple sharer kinds (owner={ent.owner}, "
-                           f"S={sorted(ent.sharers)}, "
-                           f"U={sorted(ent.u_sharers)})")
-            if ent.u_sharers and ent.u_label is None:
-                self._fail("u-without-label", line_no,
-                           f"line {line_no:#x}: directory records U "
-                           f"sharers {sorted(ent.u_sharers)} with no "
-                           f"label")
-            cached = holders.get(line_no, {})
-            if ent.owner is not None:
-                cl = cached.get(ent.owner)
-                if cl is None or cl.state not in (State.M, State.E):
-                    self._fail("stale-owner", line_no,
-                               f"line {line_no:#x}: directory owner is "
-                               f"core {ent.owner} but that cache holds "
-                               f"{cl.state.value if cl else 'nothing'}")
-            for core in ent.sharers:
-                cl = cached.get(core)
-                if cl is None or cl.state is not State.S:
-                    self._fail("stale-sharer", line_no,
-                               f"line {line_no:#x}: directory records "
-                               f"core {core} as an S sharer but that "
-                               f"cache holds "
-                               f"{cl.state.value if cl else 'nothing'}")
-            for core in ent.u_sharers:
-                cl = cached.get(core)
-                if cl is None or cl.state is not State.U:
-                    self._fail("stale-u-sharer", line_no,
-                               f"line {line_no:#x}: directory records "
-                               f"core {core} as a U sharer but that "
-                               f"cache holds "
-                               f"{cl.state.value if cl else 'nothing'}")
+        findings = check_invariants(self.msys, pass_name="sanitizer")
+        if findings:
+            self.violations += 1
+            raise SanitizerError(findings[0].format())
 
     def report(self) -> List[Finding]:
         """Summary finding list (empty when no violation ever tripped)."""

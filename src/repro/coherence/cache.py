@@ -140,6 +140,24 @@ class PrivateCache:
             if entry.speculative:
                 entry.commit()
 
+    # --- snapshot/restore (model-checker hooks) ----------------------------
+
+    def snapshot(self):
+        """Capture lines (cloned, LRU order preserved) and the L1 tracker."""
+        return (tuple((no, cl.clone()) for no, cl in self._lines.items()),
+                tuple(self._l1))
+
+    def restore(self, snap) -> None:
+        """Reset to a :meth:`snapshot` capture.  Lines are re-cloned so
+        the same snapshot can be restored from repeatedly."""
+        lines, l1 = snap
+        self._lines.clear()
+        for no, cl in lines:
+            self._lines[no] = cl.clone()
+        self._l1.clear()
+        for no in l1:
+            self._l1[no] = None
+
     # --- introspection -----------------------------------------------------
 
     def __len__(self) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from ..errors import ProtocolError
 from ..mem.memory import MainMemory
@@ -45,6 +45,13 @@ class DirEntry:
         if not self.u_sharers:
             # Label is meaningless with no U sharers.
             self.u_label = None
+
+    def clone(self) -> "DirEntry":
+        """Copy for snapshot/restore; the label is shared by reference."""
+        return DirEntry(line=self.line, words=list(self.words),
+                        owner=self.owner, sharers=set(self.sharers),
+                        u_sharers=set(self.u_sharers),
+                        u_label=self.u_label, dirty=self.dirty)
 
     @property
     def unshared(self) -> bool:
@@ -124,3 +131,19 @@ class Directory:
 
     def cached_lines(self) -> int:
         return len(self._entries)
+
+    # --- snapshot/restore (model-checker hooks) ----------------------------
+
+    def snapshot(self):
+        """Immutable-enough capture of the L3 + directory state.  Entry
+        order is preserved so a restored directory makes the same LRU
+        eviction decisions."""
+        return tuple((no, ent.clone()) for no, ent in self._entries.items())
+
+    def restore(self, snap) -> None:
+        """Reset to a state captured by :meth:`snapshot`.  The snapshot
+        is not consumed — entries are re-cloned so it can be restored
+        from any number of times."""
+        self._entries.clear()
+        for no, ent in snap:
+            self._entries[no] = ent.clone()

@@ -76,3 +76,15 @@ class CacheLine:
         if self.clean_words is not None:
             return list(self.clean_words)
         return list(self.words)
+
+    def clone(self) -> "CacheLine":
+        """Deep-enough copy for snapshot/restore: word lists are copied,
+        the label is shared by reference (labels are immutable and the
+        invariant sweep compares them by identity)."""
+        return CacheLine(
+            line=self.line, state=self.state, label=self.label,
+            words=list(self.words),
+            clean_words=None if self.clean_words is None
+            else list(self.clean_words),
+            dirty=self.dirty, spec_read=self.spec_read,
+            spec_written=self.spec_written, spec_labeled=self.spec_labeled)

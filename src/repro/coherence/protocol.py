@@ -1530,3 +1530,32 @@ class MemorySystem:
     def state_of(self, core: int, addr: int) -> State:
         entry = self.caches[core].lookup(line_of(addr))
         return entry.state if entry is not None else State.I
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (model-checker hooks)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        """Capture the complete coherence state — every private cache,
+        the L3/directory, line occupancy, and memory.  Stats, hooks
+        (sanitizer/tracer/obs/conflicts), and the label registry are
+        deliberately excluded: they are run infrastructure, not protocol
+        state, and the model checker compares snapshots for equality.
+
+        The returned value is immutable from the caller's perspective and
+        can be passed to :meth:`restore_state` any number of times."""
+        return (tuple(cache.snapshot() for cache in self.caches),
+                self.directory.snapshot(),
+                tuple(sorted(self._line_busy.items())),
+                self.memory.snapshot())
+
+    def restore_state(self, snap) -> None:
+        """Reset caches, directory, occupancy, and memory to a
+        :meth:`snapshot_state` capture."""
+        cache_snaps, dir_snap, busy, mem_snap = snap
+        for cache, csnap in zip(self.caches, cache_snaps):
+            cache.restore(csnap)
+        self.directory.restore(dir_snap)
+        self._line_busy.clear()
+        self._line_busy.update(busy)
+        self.memory.restore(mem_snap)

@@ -275,5 +275,9 @@ def oput_label(name: str = "OPUT") -> Label:
     # Both None and 0 encode "no pair yet" (see reduce above), so the
     # identity test must accept both — otherwise gathers would forward
     # all-zero donated lines as if they carried data.
-    return wordwise_label(name, identity=None, reduce_word=reduce,
-                          is_identity_word=lambda w: w is None or w == 0)
+    label = wordwise_label(name, identity=None, reduce_word=reduce,
+                           is_identity_word=lambda w: w is None or w == 0)
+    # Words hold (key, value) tuples, which no int64 column kernel can
+    # represent; reductions always run the sequential fold.
+    label.interpreted_only = True
+    return label

@@ -7,7 +7,7 @@ terminal and diffable in version control.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 #: Characters used for the per-series markers in ASCII charts.
 MARKERS = "o*x+#@%&"

@@ -8,7 +8,7 @@ so older transactions eventually win every conflict (livelock freedom).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..errors import TransactionError
 from ..sim.stats import Stats

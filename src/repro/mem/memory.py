@@ -53,3 +53,13 @@ class MainMemory:
     def touched_lines(self) -> int:
         """Number of lines ever written (for tests/inspection)."""
         return len(self._lines)
+
+    # --- snapshot/restore (model-checker hooks) ----------------------------
+
+    def snapshot(self):
+        return tuple((no, tuple(words)) for no, words in self._lines.items())
+
+    def restore(self, snap) -> None:
+        self._lines.clear()
+        for no, words in snap:
+            self._lines[no] = list(words)

@@ -17,7 +17,7 @@ import dataclasses
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class WastedCause(enum.Enum):

@@ -82,7 +82,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional
 
-from ...coherence.messages import Requester
+from ...coherence.messages import AccessKind, Requester
 from ...coherence.states import State
 from ...errors import SimulationError
 from ...runtime.ops import (
@@ -104,7 +104,7 @@ from ..engine import (
     fastpath_enabled,
     runahead_enabled,
 )
-from . import log
+from . import certify, log
 from .columns import EpochColumns
 from .kernels import lower_atomic, reduce_lines
 
@@ -137,6 +137,15 @@ K_PROTO = 8
 #: K_PROTO sub-kind for labeled gathers (record ``data`` field only; a
 #: record's ``kind`` is never K_GATHER).
 K_GATHER = 9
+
+#: Engine op-kind -> protocol AccessKind, for the extracted certifier.
+_CERTIFY_KINDS = {
+    K_LOAD: AccessKind.LOAD,
+    K_STORE: AccessKind.STORE,
+    K_LLOAD: AccessKind.LABELED_LOAD,
+    K_LSTORE: AccessKind.LABELED_STORE,
+    K_GATHER: AccessKind.GATHER,
+}
 #: An aborted transaction's restart (backoff draw + stall + re-begin),
 #: executed at the core's heap-pop time — exactly the point the strict
 #: scheduler would call ``_restart_tx`` — so the rng draw order matches.
@@ -1091,299 +1100,18 @@ class VectorEngine(Engine):
         path may execute *inside* an epoch through the real protocol
         handlers, and predict its closed-form latency.
 
-        Returns the predicted charge in cycles (``>= 0``), ``-1`` for a
-        transition that is certified deterministic but whose latency is
-        not worth predicting closed-form (reductions, gathers with
-        donors), or ``None`` to decline.
-
-        The certification invariant: the access must be *fully determined
-        by the current snapshot* and must not abort or NACK anyone —
-        every private copy it downgrades, invalidates, reduces, or splits
-        is non-speculative; every handler it runs is word-wise pure (no
-        HandlerContext memory traffic); every install it performs either
-        replaces an existing line or evicts a victim whose writeback is
-        deterministic (never a U line, whose eviction draws the rng and
-        may abort foreign transactions); and it never allocates an L3
-        entry when the directory is at capacity (an inclusive L3 eviction
-        can abort transactions). Within those bounds the executed
-        transition is the interpreted engine's own code running at the
-        op's strict execution point — bit-identical by construction.
-
-        The predicted latency mirrors ``_charge_dir_access`` /
-        ``_charge_inval_fanout`` / ``_forward_latency`` /
-        ``_apply_occupancy`` using only pure mesh geometry, and is
-        validated post-hoc against the authoritative protocol charge
-        (``host_vector_miss_predicted`` / ``_mispredicts``).
-
-        ``spec`` marks a transactional (speculative) requester. The same
-        transitions certify, with two extra obligations: no victim
-        anywhere may be speculative (a NACK would abort *us*, and which
-        of NACK/abort fires depends on timestamp order), and the L1
-        insert this access performs must not evict one of our own
-        speculatively-accessed lines (a self-abort)."""
-        msys = self.msys
-        config = self.config
-        cache = self._caches[core]
-        line_no = addr // 64
-        entry = cache.lookup(line_no)
-        directory = msys.directory
-        ent = directory.peek(line_no)
-        if spec and not self._l1_touch_safe(cache, line_no):
-            return None
-
-        if memkind == K_GATHER:
-            if not config.gather_enabled:
-                # Ablation: _gather delegates to _labeled_access.
-                return self._certify_proto(core, K_LLOAD, addr, label,
-                                           now, spec)
-            if entry is None:
-                return None  # acquire-U-then-gather: two transitions
-            st = entry.state
-            if st is _M or st is _E:
-                # _gather's acquire-U probe short-circuits to a plain
-                # labeled hit: the core already holds the full value.
-                return (self._l1_lat if line_no in cache._l1
-                        else self._l12_lat)
-            if (st is not _U or entry.label is not label
-                    or entry.speculative or entry.clean_words is not None):
-                return None
-            if ent is None or core not in ent.u_sharers:
-                return None
-            others = ent.u_sharers - {core}
-            if not others:
-                stall = max(0, msys._line_busy.get(line_no, 0) - now)
-                return (msys._dir_rt[core][line_no % msys._l3_banks]
-                        + config.l3.latency + stall
-                        + (self._l1_lat if line_no in cache._l1
-                           else self._l12_lat))
-            if label._split_word is None:
-                return None  # line-level splitters touch memory
-            for other in others:
-                oentry = msys.caches[other].lookup(line_no)
-                if oentry is None or oentry.speculative:
-                    return None
-            return -1  # split+merge latency: no closed form kept
-
-        # --- shared prediction pieces ---------------------------------
-        bank = line_no % msys._l3_banks
-        dir_rt = msys._dir_rt[core][bank]
-        l3lat = config.l3.latency
-        stall = max(0, msys._line_busy.get(line_no, 0) - now)
-        mesh = msys.mesh
-        caches = msys.caches
-        base = self._l12_lat + dir_rt + l3lat  # every miss route below
-
-        if entry is not None and entry.state is _U:
-            # Unlabeled (or differently-labeled) access to an own U line:
-            # _noncommutative_own_u.
-            if (memkind == K_LLOAD or memkind == K_LSTORE) \
-                    and entry.label is label:
-                # Matching-label labeled hit (only reachable via the
-                # disabled-gather delegation; the fast path owns it
-                # otherwise).
-                return (self._l1_lat if line_no in cache._l1
-                        else self._l12_lat)
-            return self._certify_own_u(core, line_no, entry, ent, now,
-                                       cache, stall)
-
-        if memkind == K_LOAD:
-            if entry is not None:
-                return None  # M/E/S load hits belong to the fast path
-            if ent is None:
-                if 0 < directory.num_lines <= len(directory._entries):
-                    return None  # allocation would force an L3 eviction
-                if not self._l2_install_safe(cache, line_no):
-                    return None
-                return base + config.mem_latency + stall
-            owner = ent.owner
-            if owner is not None:
-                if owner == core:
-                    return None  # directory/cache disagree; let it raise
-                oentry = caches[owner].lookup(line_no)
-                if oentry is None or oentry.spec_written \
-                        or oentry.spec_labeled:
-                    # spec_read-only owners downgrade without conflict.
-                    return None
-                if not self._l2_install_safe(cache, line_no):
-                    return None
-                fanout = mesh.max_latency_from(
-                    msys._bank_tile(line_no),
-                    [msys._core_tile(owner)]) * 2
-                fwd = mesh.latency(msys._core_tile(owner),
-                                   msys._core_tile(core))
-                return base + fanout + fwd + stall
-            if ent.u_sharers:
-                return self._certify_reduce(core, line_no, ent, cache)
-            if not self._l2_install_safe(cache, line_no):
-                return None
-            return base + stall  # E-if-unshared / S fill from the L3
-
-        if memkind == K_STORE:
-            if entry is not None and entry.state is not _S:
-                return None  # M/E store hits belong to the fast path
-            if ent is None:
-                if entry is not None:
-                    return None  # S copy without an L3 entry: inconsistent
-                if 0 < directory.num_lines <= len(directory._entries):
-                    return None
-                if not self._l2_install_safe(cache, line_no):
-                    return None
-                return base + config.mem_latency + stall
-            if ent.u_sharers:
-                return self._certify_reduce(core, line_no, ent, cache)
-            if ent.owner == core:
-                return None
-            victims = []
-            if ent.owner is not None:
-                victims.append(ent.owner)
-            victims.extend(s for s in ent.sharers if s != core)
-            fwd = 0
-            for victim in victims:
-                ventry = caches[victim].lookup(line_no)
-                if ventry is None or ventry.speculative:
-                    return None  # lost line raises; spec line conflicts
-                vst = ventry.state
-                if vst is _M or vst is _E:
-                    fwd = mesh.latency(msys._core_tile(victim),
-                                       msys._core_tile(core))
-            if entry is None and not self._l2_install_safe(cache, line_no):
-                return None  # an S copy upgrades in place, no install
-            fanout = 0
-            if victims:
-                fanout = mesh.max_latency_from(
-                    msys._bank_tile(line_no),
-                    [msys._core_tile(v) for v in victims]) * 2
-            return base + fanout + fwd + stall
-
-        # K_LLOAD / K_LSTORE miss (I or S): GETU, Sec. III-B3 cases 1-5.
-        if entry is not None and entry.state is not _S:
-            return None  # M/E and matching-U hits belong to the fast path
-        if ent is None:
-            if entry is not None:
-                return None  # S copy without an L3 entry: inconsistent
-            if 0 < directory.num_lines <= len(directory._entries):
-                return None
-            if not self._l2_install_safe(cache, line_no):
-                return None
-            return base + config.mem_latency + stall
-        if ent.u_sharers:
-            if ent.u_label is label:
-                # Case 4: same label -> identity install, no data moves.
-                if not self._l2_install_safe(cache, line_no):
-                    return None
-                return base + stall
-            if core in ent.u_sharers:
-                return None  # inconsistent with entry I/S; let it raise
-            # Case 3: reduce at the requester, re-enter U relabeled.
-            return self._certify_reduce(core, line_no, ent, cache)
-        owner = ent.owner
-        if owner is not None:
-            if owner == core:
-                return None
-            oentry = caches[owner].lookup(line_no)
-            if oentry is None or oentry.speculative:
-                return None  # case 5 NACK-checks *any* speculative bit
-            if not self._l2_install_safe(cache, line_no):
-                return None
-            fanout = mesh.max_latency_from(msys._bank_tile(line_no),
-                                           [msys._core_tile(owner)]) * 2
-            return base + fanout + stall  # owner keeps data: no forward
-        # Cases 1-2: invalidate S sharers, install the L3 data.
-        victims = [s for s in ent.sharers if s != core]
-        for victim in victims:
-            ventry = caches[victim].lookup(line_no)
-            if ventry is not None and ventry.speculative:
-                return None
-        if entry is None and not self._l2_install_safe(cache, line_no):
-            return None  # an own S copy is dropped first: no net growth
-        fanout = 0
-        if victims:
-            fanout = mesh.max_latency_from(
-                msys._bank_tile(line_no),
-                [msys._core_tile(v) for v in victims]) * 2
-        return base + fanout + stall
-
-    def _certify_own_u(self, core: int, line_no: int, entry, ent, now: int,
-                       cache, stall: int) -> Optional[int]:
-        """Certify ``_noncommutative_own_u``: an unlabeled or relabeling
-        access to a line this core holds in U. Sole sharer converts in
-        place (closed-form); multiple sharers reduce here (certified,
-        unpredicted)."""
-        if (entry.clean_words is not None or entry.spec_read
-                or entry.spec_written or entry.spec_labeled):
-            return None
-        if ent is None or core not in ent.u_sharers:
-            return None  # directory/cache disagree; let the full path raise
-        if len(ent.u_sharers) == 1:
-            msys = self.msys
-            return ((self._l1_lat if line_no in cache._l1
-                     else self._l12_lat)
-                    + msys._dir_rt[core][line_no % msys._l3_banks]
-                    + self.config.l3.latency + stall)
-        if ent.u_label._reduce_word is None:
-            return None
-        caches = self.msys.caches
-        for other in ent.u_sharers:
-            if other == core:
-                continue
-            oentry = caches[other].lookup(line_no)
-            if oentry is None or oentry.speculative:
-                return None
-        # _install_reduced replaces this core's own line: no growth.
-        return -1
-
-    def _certify_reduce(self, core: int, line_no: int, ent,
-                        cache) -> Optional[int]:
-        """Certify a reduction collapsing all U copies at a core that does
-        *not* hold the line: every sharer's copy present and
-        non-speculative (no NACK, no abort, no lost-line error), a
-        word-wise label (the fold never touches memory), and a safe
-        install of the merged line."""
-        label = ent.u_label
-        if label is None or label._reduce_word is None:
-            return None
-        caches = self.msys.caches
-        for sharer in ent.u_sharers:
-            if sharer == core:
-                return None  # own copy missed but directory says U: raise
-            sentry = caches[sharer].lookup(line_no)
-            if sentry is None or sentry.speculative:
-                return None
-        if not self._l2_install_safe(cache, line_no):
-            return None
-        return -1
-
-    def _l2_install_safe(self, cache, line_no: int) -> bool:
-        """True when installing ``line_no`` cannot trigger a
-        nondeterministic private eviction: the key already exists
-        (replace in place), there is headroom, or the LRU victim's
-        eviction is deterministic (M/E writeback, S drop — but not U,
-        whose eviction draws the rng and may abort foreign transactions,
-        and not a speculative line, whose eviction aborts)."""
-        lines = cache._lines
-        if line_no in lines:
-            return True
-        cap = cache._l2_capacity
-        if cap <= 0 or len(lines) < cap:
-            return True
-        victim = lines[next(iter(lines))]
-        return victim.state is not _U and not victim.speculative
-
-    def _l1_touch_safe(self, cache, line_no: int) -> bool:
-        """True when the L1 insert of ``line_no`` (every certified access
-        touches its target) cannot evict one of this core's own
-        speculatively-accessed lines, which would abort the requester's
-        transaction (Sec. III-B1). Only consulted for speculative
-        requesters — without a transaction this core has no speculative
-        lines to lose."""
-        l1 = cache._l1
-        if line_no in l1:
-            return True
-        cap = cache._l1_capacity
-        if cap <= 0 or len(l1) < cap:
-            return True
-        victim = cache._lines.get(next(iter(l1)))
-        return victim is None or not victim.speculative
+        The decision procedure itself is :func:`certify.certify_access`
+        — a pure function of the memory system, shared with the
+        exhaustive model checker, which proves on every reachable state
+        of its bounded configs that a non-``None`` prediction matches
+        the charge the real handlers produce.  This wrapper only maps
+        the engine's integer op kinds onto :class:`AccessKind`.  It is
+        looked up through the module attribute (not bound at import) so
+        fault-injection tests can patch the certifier in one place for
+        both consumers."""
+        return certify.certify_access(self.msys, core,
+                                      _CERTIFY_KINDS[memkind], addr,
+                                      label, now, spec)
 
     # ------------------------------------------------------------------
     # Strict phase

@@ -119,24 +119,45 @@ _register_builtins()
 # associative and commutative on the data actually present, and (b) numpy's
 # int64 arithmetic cannot overflow where Python ints would not. The
 # registry below therefore keys on a per-label ``vector_reduce`` tag set by
-# the label factories that satisfy (a) — ADD, MIN, MAX — and
+# the label factories that satisfy (a) — ADD, MIN, MAX, OR — and
 # :func:`reduce_lines` declines (returns None, sequential fallback) any
 # line set that violates (b): non-int words (OPUT tuples, MIN/MAX ``None``
 # identities, floats) or magnitudes near the int64 range.
+#
+# numpy is imported lazily on the first kernel invocation: the tag
+# vocabulary (``SUPPORTED_REDUCE_TAGS``) is consulted by the analysis
+# passes (``missing-lowering`` lint, model checker), which must run on the
+# no-numpy CI legs.
 # ---------------------------------------------------------------------------
 
-import numpy as np  # noqa: E402  (the vector package guarantees numpy)
-
 #: Magnitude bound per word: |v| <= 2**48 keeps any sum of up to 2**14
-#: lines inside int64 exactly.
+#: lines inside int64 exactly (and any OR, whose magnitude never exceeds
+#: its largest operand's bit-width).
 _KERNEL_BOUND = 1 << 48
 
+#: ``vector_reduce`` tags with a registered column kernel. The
+#: ``missing-lowering`` lint checks every word-wise datatype label
+#: against this vocabulary.
+SUPPORTED_REDUCE_TAGS = frozenset({"add", "min", "max", "or"})
+
+np = None  # bound by _load_numpy on first kernel use
+
 #: tag -> column reducer over an (nrows, words) int64 array.
-_REDUCERS = {
-    "add": lambda arr: arr.sum(axis=0),
-    "min": lambda arr: arr.min(axis=0),
-    "max": lambda arr: arr.max(axis=0),
-}
+_REDUCERS: dict = {}
+
+
+def _load_numpy():
+    global np
+    if np is None:
+        import numpy
+        np = numpy
+        _REDUCERS.update({
+            "add": lambda arr: arr.sum(axis=0),
+            "min": lambda arr: arr.min(axis=0),
+            "max": lambda arr: arr.max(axis=0),
+            "or": lambda arr: np.bitwise_or.reduce(arr, axis=0),
+        })
+    return np
 
 
 def reduce_lines(label, rows):
@@ -144,13 +165,14 @@ def reduce_lines(label, rows):
     pass. Returns the merged word list, or None to decline — unknown
     label, fewer than two rows, or data the kernel cannot reproduce
     bit-for-bit (non-int words, out-of-range magnitudes)."""
-    reducer = _REDUCERS.get(getattr(label, "vector_reduce", None))
-    if reducer is None or len(rows) < 2:
+    tag = getattr(label, "vector_reduce", None)
+    if tag not in SUPPORTED_REDUCE_TAGS or len(rows) < 2:
         return None
     bound = _KERNEL_BOUND
     for row in rows:
         for v in row:
             if type(v) is not int or not -bound <= v <= bound:
                 return None
-    out = reducer(np.asarray(rows, dtype=np.int64))
+    _load_numpy()
+    out = _REDUCERS[tag](np.asarray(rows, dtype=np.int64))
     return [int(v) for v in out]

@@ -4,7 +4,7 @@ import pytest
 
 from repro import Machine
 from repro.params import small_config
-from repro.coherence.messages import Requester, SYSTEM
+from repro.coherence.messages import Requester
 from repro.core.labels import add_label
 
 

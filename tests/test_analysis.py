@@ -9,11 +9,11 @@ indistinguishable from one that works.
 import pytest
 
 from repro.analysis import (ERROR, WARNING, check_laws, check_paths,
-                            check_registry, check_source, errors_in)
+                            check_registry, check_source)
+from repro.analysis.lint import check_lowerings
 from repro.analysis.__main__ import main as analysis_main
 from repro.analysis.laws import check_suite
-from repro.analysis.sanitizer import (SANITIZE_ENV, CoherenceSanitizer,
-                                      sanitize_enabled)
+from repro.analysis.sanitizer import SANITIZE_ENV, sanitize_enabled
 from repro.coherence.states import State
 from repro.core.labels import LabelRegistry, add_label, min_label, \
     wordwise_label
@@ -412,3 +412,125 @@ def txn(ctx, obj):
         out = capsys.readouterr().out
         assert "mixed-store" in out
         assert str(bad) in out
+
+    def test_json_output_clean(self, capsys):
+        import json
+
+        assert analysis_main(["--trials", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-analysis/1"
+        assert payload["errors"] == 0
+        assert payload["findings"] == []
+
+    def test_json_output_carries_findings(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "workload.py"
+        bad.write_text(LINT_HEADER + """
+def txn(ctx, obj):
+    v = yield LabeledLoad(obj.addr, obj.label)
+    yield Store(obj.addr, v)
+""")
+        assert analysis_main(["--skip-laws", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] >= 1
+        checks = {f["check"] for f in payload["findings"]}
+        assert "mixed-store" in checks
+        # Every finding locates its evidence for mechanical consumers.
+        flagged = [f for f in payload["findings"]
+                   if f["check"] == "mixed-store"]
+        assert flagged[0]["file"] == str(bad)
+        assert flagged[0]["line"] is not None
+        assert flagged[0]["pass"] == "lint"
+
+    def test_internal_error_exits_2(self, monkeypatch, capsys):
+        from repro.analysis import __main__ as cli
+
+        def boom(**kwargs):
+            raise RuntimeError("law checker exploded")
+
+        monkeypatch.setattr(cli, "check_laws", boom)
+        assert analysis_main(["--trials", "8"]) == 2
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "law checker exploded" in err
+
+    def test_usage_error_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            analysis_main(["--trials", "not-a-number"])
+        assert exc.value.code == 2
+
+
+# ---------------------------------------------------------------------------
+# Missing-lowering lint
+# ---------------------------------------------------------------------------
+
+def _wordwise_suite(name, tag=None, interpreted_only=False):
+    def make():
+        label = wordwise_label(name, 0, reduce_word=lambda a, b: a + b)
+        if tag is not None:
+            label.vector_reduce = tag
+        if interpreted_only:
+            label.interpreted_only = True
+        return label
+
+    return LawSuite(name=f"fault/{name}", make_label=make,
+                    gen=wordwise_gen(lambda rng: rng.randint(1, 9)))
+
+
+class TestLoweringLint:
+    def test_builtin_labels_all_lowered_or_declared(self):
+        # Every built-in word-wise label either has a supported
+        # vector_reduce tag or an explicit interpreted_only opt-out.
+        assert check_lowerings() == []
+
+    def test_untagged_wordwise_label_is_error(self):
+        findings = check_lowerings([_wordwise_suite("NOTAG")])
+        assert len(findings) == 1
+        f = findings[0]
+        assert (f.check, f.severity, f.label) \
+            == ("missing-lowering", ERROR, "NOTAG")
+        assert "sequential fold" in f.message
+
+    def test_unknown_tag_is_error(self):
+        findings = check_lowerings([_wordwise_suite("XORISH", tag="xor")])
+        assert len(findings) == 1
+        assert findings[0].check == "missing-lowering"
+        assert "'xor'" in findings[0].message
+
+    def test_interpreted_only_optout_is_clean(self):
+        assert check_lowerings(
+            [_wordwise_suite("SLOW", interpreted_only=True)]) == []
+
+    def test_supported_tag_is_clean(self):
+        assert check_lowerings([_wordwise_suite("OK", tag="add")]) == []
+
+    def test_line_level_labels_skipped(self):
+        # Line-level reducers move real memory through a HandlerContext;
+        # they are interpreted by design and never flagged.
+        from types import SimpleNamespace
+
+        line_label = SimpleNamespace(name="LINEY", _reduce_word=None)
+        suite = SimpleNamespace(name="fault/LINEY",
+                                make_label=lambda: line_label)
+        assert check_lowerings([suite]) == []
+
+    def test_shared_factory_reported_once(self):
+        suites = [_wordwise_suite("NOTAG"), _wordwise_suite("NOTAG")]
+        assert len(check_lowerings(suites)) == 1
+
+    def test_cli_reports_missing_lowering(self, monkeypatch, capsys):
+        # The default CLI run includes the lowering check; make a
+        # built-in label lose its tag and the gate must trip.
+        from repro.datatypes import bloom_filter
+
+        orig = bloom_filter.or_label
+
+        def untagged(*args, **kwargs):
+            label = orig(*args, **kwargs)
+            label.vector_reduce = None
+            return label
+
+        monkeypatch.setattr(bloom_filter, "or_label", untagged)
+        assert analysis_main(["--skip-laws"]) == 1
+        assert "missing-lowering" in capsys.readouterr().out

@@ -2,7 +2,6 @@
 algorithms, request handlers) that the end-to-end app tests don't cover
 directly."""
 
-import pytest
 
 from repro import Machine
 from repro.params import small_config

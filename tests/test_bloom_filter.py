@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Atomic, Machine, Work
+from repro import Atomic, Machine
 from repro.datatypes import BloomFilter
 from repro.params import small_config
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.harness import run_workload, speedup_curve
 from repro.harness.runner import collect_points
-from repro.params import SystemConfig, small_config
+from repro.params import small_config
 from repro.workloads.micro import counter
 
 

@@ -10,7 +10,6 @@ to the same line never abort each other under either detection scheme.
 import pytest
 
 from repro import Atomic, LabeledLoad, LabeledStore, Load, Machine, Store, Work
-from repro.coherence.states import State
 from repro.core.labels import add_label
 from repro.errors import ProtocolError
 from repro.params import small_config

@@ -1,12 +1,11 @@
 """Property tests for the line-level (descriptor) handlers: linked-list
 merge/split and top-K merge, run against a host-side memory model."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.labels import HandlerContext
 from repro.datatypes.linked_list import (
     EMPTY,
-    _list_label,
     _merge_descriptors,
     _split_descriptor,
 )

@@ -6,7 +6,6 @@ aborts. The merged data is non-speculative: it must survive the abort, so
 no partial update is ever lost or duplicated.
 """
 
-import pytest
 
 from repro import (
     Atomic,

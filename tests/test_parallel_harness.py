@@ -1,7 +1,6 @@
 """Parallel sweep layer: spec round-trips, dedupe, pool determinism, and
 the on-disk result cache."""
 
-import os
 import pickle
 
 import pytest

@@ -12,7 +12,7 @@ import functools
 
 from hypothesis import given, settings, strategies as st
 
-from repro import Atomic, LabeledLoad, LabeledStore, Machine, Work
+from repro import Atomic, Machine, Work
 from repro.core.labels import (
     HandlerContext,
     add_label,

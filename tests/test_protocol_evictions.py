@@ -1,7 +1,6 @@
 """Evictions (Sec. III-B5): private U evictions (sole sharer writeback vs
 forward-to-random-sharer), L3 inclusion evictions with reduction."""
 
-import pytest
 
 from repro import Machine
 from repro.coherence.messages import Requester

@@ -1,6 +1,5 @@
 """MESI protocol behaviour through the MemorySystem (non-transactional)."""
 
-import pytest
 
 from repro import Machine
 from repro.coherence.messages import Requester

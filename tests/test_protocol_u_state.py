@@ -7,7 +7,7 @@ import pytest
 from repro import Machine
 from repro.coherence.messages import Requester
 from repro.coherence.states import State
-from repro.core.labels import add_label, min_label, oput_label
+from repro.core.labels import add_label, min_label
 from repro.errors import ReductionError
 from repro.params import small_config
 

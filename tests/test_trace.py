@@ -1,6 +1,5 @@
 """Execution tracer and timeline rendering."""
 
-import pytest
 
 from repro import Atomic, LabeledLoad, LabeledStore, Load, Machine, Work
 from repro.core.labels import add_label

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Run the exhaustive model checker and publish a CI job summary.
+
+Invokes ``python -m repro.analysis modelcheck --json`` as a subprocess —
+so CI exercises the same CLI surface and exit-code contract users get —
+prints the explored-state count to stdout, appends a Markdown table to
+``$GITHUB_STEP_SUMMARY`` when that variable is set, and propagates the
+CLI's exit code (0 clean / 1 findings / 2 internal error).
+
+Usage::
+
+    PYTHONPATH=src python tools/modelcheck_summary.py [--budget 300] \
+        [extra modelcheck args...]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    cmd = [sys.executable, "-m", "repro.analysis", "modelcheck",
+           "--json"] + argv
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.stderr:
+        sys.stderr.write(proc.stderr)
+    try:
+        payload = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        sys.stdout.write(proc.stdout)
+        print("modelcheck_summary: CLI produced no JSON "
+              f"(exit {proc.returncode})", file=sys.stderr)
+        return proc.returncode if proc.returncode else 2
+
+    mc = payload.get("modelcheck", {})
+    states = mc.get("states", 0)
+    transitions = mc.get("transitions", 0)
+    exhausted = mc.get("exhausted", False)
+    errors = payload.get("errors", 0)
+    warnings = payload.get("warnings", 0)
+    print(f"modelcheck: {states} states / {transitions} transitions "
+          f"explored ({mc.get('cores')} cores x {mc.get('lines')} "
+          f"line(s), depth {mc.get('depth')}); "
+          f"{'exhausted' if exhausted else 'BUDGET CUT'}; "
+          f"{errors} error(s), {warnings} warning(s)")
+    for row in mc.get("per_label", []):
+        print(f"  {row['label']:<5s} {row['states']:6d} states "
+              f"{row['transitions']:7d} transitions "
+              f"{row['elapsed_s']:7.2f}s "
+              f"{'exhausted' if row['exhausted'] else 'BUDGET CUT'} "
+              f"{row['findings']} finding(s)")
+    for f in payload.get("findings", []):
+        print(f"  {f['severity']}: [{f['pass']}:{f['check']}] "
+              f"{f['message']}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        lines = [
+            "## Model check (MESI+U, bounded configs)",
+            "",
+            f"**{states} states / {transitions} transitions** explored "
+            f"across {len(mc.get('per_label', []))} labels "
+            f"({mc.get('cores')} cores × {mc.get('lines')} line(s), "
+            f"depth {mc.get('depth')}) — "
+            f"{'exhausted' if exhausted else '**budget cut**'}, "
+            f"{errors} error(s), {warnings} warning(s).",
+            "",
+            "| label | states | transitions | time (s) | exhausted "
+            "| findings |",
+            "|---|---:|---:|---:|---|---:|",
+        ]
+        for row in mc.get("per_label", []):
+            lines.append(
+                f"| {row['label']} | {row['states']} "
+                f"| {row['transitions']} | {row['elapsed_s']:.2f} "
+                f"| {'yes' if row['exhausted'] else 'NO'} "
+                f"| {row['findings']} |")
+        with open(summary_path, "a") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
