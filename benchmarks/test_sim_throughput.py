@@ -27,7 +27,15 @@ batching factor), plus the wall-clock cost of the opt-in instrumentation
 layers:
 ``sanitize.slowdown`` (``REPRO_SANITIZE=1`` invariant sweeps) and
 ``obs.slowdown`` (``REPRO_OBS=1`` structured observability) — both
-asserted to leave simulated stats bit-identical.
+asserted to leave simulated stats bit-identical. The obs point is a
+four-way interleave when numpy is present: plain and observed runs of
+both backends, recording ``obs.vector_slowdown`` (what observation costs
+the vector engine, whose epochs stay engaged under obs) and
+``obs.vector_vs_interp_observed`` (the observed-vector over
+observed-interp speedup — the reason obs no longer forces the
+interpreted path). The plain vector leg of that interleave doubles as
+the zero-overhead-when-off guard: it must produce no obs payload, and
+its wall-clock is the baseline the obs-on leg is paired against.
 
 When numpy is installed, each single-run point is also timed under the
 vector engine backend (``backend="vector"``) as a fourth leg of the same
@@ -57,7 +65,7 @@ from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.harness import ResultCache, make_spec, run_points
 from repro.harness.parallel import warm_pool
 from repro.harness.runner import run_workload
-from repro.obs import OBS_ENV
+from repro.obs import OBS_ENV, vector_engagement
 from repro.sim.engine import NO_FASTPATH_ENV, NO_RUNAHEAD_ENV
 from repro.sim.vector import BACKEND_ENV, available as vector_available
 from repro.workloads.apps import kmeans
@@ -217,15 +225,12 @@ def test_sim_throughput(tmp_path, monkeypatch):
             # engaged run's ratio is the epoch path's win.
             vstats = vec_result.stats
             report["vector_engagement"][name] = {
-                "epochs": vstats.host_vector_epochs,
-                "epoch_ops": vstats.host_vector_epoch_ops,
-                "fused_txs": vstats.host_vector_fused_txs,
+                # Core block shared with the obs run report (same shape
+                # the --report-json host section carries).
+                **vector_engagement(vstats),
                 "proto_ops": vstats.host_vector_proto_ops,
                 "miss_predicted": vstats.host_vector_miss_predicted,
                 "miss_mispredicts": vstats.host_vector_miss_mispredicts,
-                "gated": vstats.host_vector_gated,
-                "fence_causes": dict(sorted(
-                    vstats.host_vector_fence_causes.items())),
             }
 
         # ``hit_rate`` is None ("disabled") only when no attempt was
@@ -265,19 +270,50 @@ def test_sim_throughput(tmp_path, monkeypatch):
         "slowdown": round(san_wall / wall, 2),
     }
 
-    # One REPRO_OBS=1 point: what the structured observability layer
-    # (Perfetto trace + lifecycle records + hot-line metrics) costs.
-    # Observation forces the full protocol path, so its slowdown bounds
-    # below at 1/fastpath_speedup; simulated stats must be untouched.
-    monkeypatch.setenv(OBS_ENV, "1")
-    obs_wall, obs_result = _best_of(
-        1 if SMOKE else 2, lambda: run_workload(build, 8, **params))
-    monkeypatch.delenv(OBS_ENV)
+    # REPRO_OBS=1: what the structured observability layer (Perfetto
+    # trace + lifecycle records + hot-line metrics + hostprof) costs on
+    # each backend. On the interpreted engine observation routes memory
+    # ops through the full protocol path, so its slowdown bounds below
+    # at 1/fastpath_speedup. The vector backend keeps its epochs engaged
+    # under observation (synthesized emissions at their exact strict
+    # positions; tests/test_vector_obs_parity.py proves payload parity),
+    # so the four legs interleave plain/observed x interp/vector and the
+    # ratios expose both the layer's cost per backend and the
+    # observed-vector over observed-interp win.
+    obs_reps = 1 if SMOKE else 2
+    plain_cc = lambda: run_workload(build, 8, **params)  # noqa: E731
+    vec_cc = lambda: run_workload(build, 8, backend="vector",  # noqa: E731
+                                  **params)
+    obs_fns = [plain_cc, _with_env(OBS_ENV, plain_cc)]
+    if has_vector:
+        obs_fns += [vec_cc, _with_env(OBS_ENV, vec_cc)]
+    obs_walls, obs_results = _interleaved_best_of(obs_reps, obs_fns)
+    obs_wall, obs_result = obs_walls[1], obs_results[1]
     assert obs_result.stats.comparable() == result.stats.comparable()
+    assert obs_result.info.get("obs") is not None
     report["obs"] = {
         "run": "counter_commtm",
-        "slowdown": round(obs_wall / wall, 2),
+        "slowdown": round(obs_wall / obs_walls[0], 2),
     }
+    if has_vector:
+        vec_wall, obs_vec_wall = obs_walls[2], obs_walls[3]
+        vec_plain, obs_vec = obs_results[2], obs_results[3]
+        # Zero overhead when off: the obs-off vector leg collects
+        # nothing. Bit-identical and genuinely vectorized when on.
+        assert vec_plain.info.get("obs") is None
+        assert obs_vec.stats.comparable() == result.stats.comparable()
+        assert obs_vec.stats.host_vector_epochs > 0
+        assert obs_vec.info.get("obs") is not None
+        assert "hostprof" in obs_vec.info["obs"]
+        report["obs"]["vector_slowdown"] = round(obs_vec_wall / vec_wall, 2)
+        report["obs"]["vector_vs_interp_observed"] = \
+            round(obs_wall / obs_vec_wall, 3)
+        report["obs"]["vector_engagement"] = vector_engagement(obs_vec.stats)
+        if not SMOKE:
+            # The point of making obs vector-native: an observed vector
+            # run must beat an observed interpreted run on the epoch-
+            # friendly workload.
+            assert obs_vec_wall < obs_wall
 
     specs = _sweep_specs(SWEEP_THREADS, SWEEP_OPS)
     serial_wall, serial_results = _best_of(

@@ -22,10 +22,11 @@ and prints the top 25 functions by cumulative time to stderr
 (``--profile-out FILE`` additionally dumps the raw stats for ``pstats``/
 ``snakeviz``).
 
-``--trace-out``/``--report-json``/``--metrics-out`` export structured
-observability artifacts (Perfetto trace, versioned run report with
-address-level abort attribution, hot-line metrics — see :mod:`repro.obs`);
-any of them implies ``REPRO_OBS=1`` and ``--no-cache``.
+``--trace-out``/``--report-json``/``--metrics-out``/``--hostprof-out``
+export structured observability artifacts (Perfetto trace, versioned run
+report with address-level abort attribution, hot-line metrics, host
+wall-clock phase accounting — see :mod:`repro.obs`); any of them implies
+``REPRO_OBS=1`` and ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -82,6 +83,12 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write per-line/per-label hot-line metrics "
                              "JSON. Implies REPRO_OBS=1 and --no-cache")
+    parser.add_argument("--hostprof-out", metavar="FILE", default=None,
+                        help="write host wall-clock phase accounting "
+                             "JSON (repro-obs-hostprof/1): per-point "
+                             "simulate/verify and vector-engine phases, "
+                             "plus harness dispatch and cache traffic. "
+                             "Implies REPRO_OBS=1 and --no-cache")
     parser.add_argument("--backend", choices=["interp", "vector"],
                         default=None,
                         help="engine backend: the per-op interpreted "
@@ -137,7 +144,7 @@ def main(argv=None) -> int:
 
     sink = None
     obs_requested = bool(args.trace_out or args.report_json
-                         or args.metrics_out)
+                         or args.metrics_out or args.hostprof_out)
     if obs_requested:
         # Same propagation as --sanitize: the env var reaches sweep
         # workers, and cached results carry no obs payload, so skip them.
@@ -165,6 +172,9 @@ def main(argv=None) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
+    from ..obs.hostprof import HARNESS_PROF
+
+    t0 = HARNESS_PROF.start()
     try:
         report = run_experiment(args.experiment, threads=threads,
                                 scale=args.scale, jobs=jobs, cache=cache)
@@ -172,6 +182,7 @@ def main(argv=None) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     finally:
+        HARNESS_PROF.stop("experiment", t0)
         if profiler is not None:
             import pstats
 
@@ -188,6 +199,7 @@ def main(argv=None) -> int:
             written = artifacts.write_outputs(
                 args.experiment, sink.results, trace_out=args.trace_out,
                 report_json=args.report_json, metrics_out=args.metrics_out,
+                hostprof_out=args.hostprof_out,
                 threads=threads, scale=args.scale)
             for path in written:
                 print(f"[obs] wrote {path}", file=sys.stderr)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from typing import List, Optional
 
+from ..obs.hostprof import HARNESS_PROF, HOSTPROF_SCHEMA
 from ..obs.perfetto import merge_traces
 from ..obs.report import metrics_report, run_report
 
@@ -96,9 +97,28 @@ def write_metrics(path: str, experiment: str, results) -> None:
         json.dump(metrics_report(experiment, results), fh, indent=2)
 
 
+def write_hostprof(path: str, experiment: str, results) -> None:
+    """Host wall-clock accounting: one ``repro-obs-hostprof/1`` section
+    per observed sweep point (simulate/verify plus the vector engine's
+    epoch/kernel/strict/drain phases when it ran), and the process-wide
+    harness accountant (experiment dispatch, result-cache traffic)."""
+    points = [{"name": point_label(r),
+               "hostprof": r.info["obs"]["hostprof"]}
+              for r in _observed(results)
+              if "hostprof" in r.info["obs"]]
+    doc = {
+        "schema": HOSTPROF_SCHEMA,
+        "experiment": experiment,
+        "harness": HARNESS_PROF.report(),
+        "points": points,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+
+
 def write_outputs(experiment: str, results, *, trace_out=None,
-                  report_json=None, metrics_out=None, threads=None,
-                  scale=None) -> List[str]:
+                  report_json=None, metrics_out=None, hostprof_out=None,
+                  threads=None, scale=None) -> List[str]:
     """Write every requested artifact; returns the paths written."""
     written = []
     if trace_out:
@@ -111,9 +131,12 @@ def write_outputs(experiment: str, results, *, trace_out=None,
     if metrics_out:
         write_metrics(metrics_out, experiment, results)
         written.append(metrics_out)
+    if hostprof_out:
+        write_hostprof(hostprof_out, experiment, results)
+        written.append(hostprof_out)
     return written
 
 
 __all__ = ["ResultSink", "clear_sink", "install_sink", "notify",
-           "point_label", "write_metrics", "write_outputs", "write_report",
-           "write_trace"]
+           "point_label", "write_hostprof", "write_metrics",
+           "write_outputs", "write_report", "write_trace"]

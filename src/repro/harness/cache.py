@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Optional
 
 from .. import __version__
+from ..obs.hostprof import HARNESS_PROF
 from .parallel import PointSpec
 
 #: Environment variable overriding the cache directory.
@@ -69,6 +70,7 @@ class ResultCache:
     def get(self, spec: PointSpec):
         """Cached result for ``spec``, or None. Never raises on a bad
         entry — a corrupt file is a miss."""
+        t0 = HARNESS_PROF.start()
         path = self._path(spec)
         try:
             with open(path, "rb") as fh:
@@ -77,12 +79,15 @@ class ResultCache:
                 ImportError, IndexError):
             self.misses += 1
             return None
+        finally:
+            HARNESS_PROF.stop("cache_get", t0)
         self.hits += 1
         return result
 
     def put(self, spec: PointSpec, result) -> None:
         """Store ``result`` atomically; a failed write is non-fatal (the
         point simply stays uncached)."""
+        t0 = HARNESS_PROF.start()
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(spec)
         try:
@@ -97,6 +102,8 @@ class ResultCache:
                 raise
         except OSError:
             return
+        finally:
+            HARNESS_PROF.stop("cache_put", t0)
         self.stores += 1
 
     def clear(self) -> int:

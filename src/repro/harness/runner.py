@@ -17,6 +17,7 @@ same sweep produce identical reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.machine import Machine, MachineResult
@@ -61,11 +62,17 @@ def _make_config(num_cores: int, commtm: Optional[bool],
 
 def run_built(machine: Machine, built, verify: bool = True) -> ExperimentResult:
     """Run an instantiated workload on its machine."""
+    prof = machine.obs.hostprof if machine.obs is not None else None
+    t0 = prof.start() if prof is not None else 0
     result: MachineResult = machine.run(built.bodies)
+    if prof is not None:
+        prof.stop("simulate", t0)
+        t0 = prof.start()
     if verify and built.verify is not None:
         built.verify(machine)
     info = dict(built.info)
     if machine.obs is not None:
+        prof.stop("verify", t0)
         # Plain-dict snapshot: it must survive pickling through the sweep
         # worker pool back to the parent (see harness.artifacts).
         info["obs"] = machine.obs.payload()
@@ -90,8 +97,17 @@ def run_workload(build: Callable, num_threads: int, *,
     ``backend`` of None defers to ``REPRO_BACKEND``, then the interpreted
     default (see :func:`repro.sim.vector.resolve_backend`)."""
     config = _make_config(num_cores, commtm, gather, seed, base_config)
+    b0 = perf_counter_ns()
     machine = Machine(config, backend=backend)
+    b1 = perf_counter_ns()
     built = build(machine, num_threads, **params)
+    if machine.obs is not None:
+        # Construction phases predate the machine's profiler only in
+        # spirit — the Observer (and its HostProfiler) is created inside
+        # Machine.__init__, so both deltas are accountable after the fact.
+        prof = machine.obs.hostprof
+        prof.add("build_machine", b1 - b0)
+        prof.add("build_workload", perf_counter_ns() - b1)
     return run_built(machine, built, verify=verify)
 
 

@@ -20,6 +20,11 @@ breakdowns (Fig. 17), wasted-work attribution (Fig. 18), traffic splits
   invalidations caused), surfaced via ``Stats.host_hot_lines``.
 * :mod:`~repro.obs.report` — versioned machine-readable run reports
   consumed by ``python -m repro.harness --report-json`` and CI artifacts.
+* :class:`~repro.obs.hostprof.HostProfiler` — a zero-dependency *host*
+  wall-clock phase accountant (epoch classify, kernel exec, strict
+  stepper, fenced replay, stats reduce; harness build/dispatch/cache
+  phases), emitted as a versioned ``repro-obs-hostprof/1`` report
+  section and an optional Perfetto host-time lane.
 
 Enablement follows the sanitizer's discipline exactly: ``observe=True`` on
 :class:`~repro.core.machine.Machine` or ``REPRO_OBS=1`` in the environment
@@ -30,19 +35,24 @@ config fingerprints. When off, nothing is installed: the engine's handler
 table, the protocol's hook slots and every hot path are byte-for-byte the
 code that runs without this package, so disabled-mode cycles and
 ``Stats.comparable()`` are bit-identical and throughput is unchanged.
-When on, the engine routes memory operations through the full protocol
-path (the same switch ``REPRO_NO_FASTPATH=1`` flips, proven bit-identical
-by ``tests/test_fastpath_equivalence.py``) so every event is seen at a
-single choke point — simulated results are still bit-identical; only
-host-side wall-clock pays.
+When on, the *interpreted* engine routes memory operations through the
+full protocol path (the same switch ``REPRO_NO_FASTPATH=1`` flips, proven
+bit-identical by ``tests/test_fastpath_equivalence.py``) so every event is
+seen at a single choke point. The *vector* backend keeps its epochs and
+synthesizes the same emissions at their exact strict positions (deferring
+the order-sensitive ones; see ``repro.sim.vector.engine``), proven
+payload-identical by ``tests/test_vector_obs_parity.py`` — simulated
+results are bit-identical either way; only host-side wall-clock pays.
 """
 
+from .hostprof import HARNESS_PROF, HOSTPROF_SCHEMA, HostProfiler
 from .lifecycle import AbortRecord, LifecycleTracker, TxRecord
 from .metrics import LineMetrics, MetricsRegistry
 from .observer import OBS_ENV, Observer, obs_enabled
 from .perfetto import TRACE_SCHEMA, chrome_trace, merge_traces
 from .recorder import TraceRecorder
-from .report import METRICS_SCHEMA, REPORT_SCHEMA, per_label_table, point_report
+from .report import (METRICS_SCHEMA, REPORT_SCHEMA, per_label_table,
+                     point_report, vector_engagement)
 
 __all__ = [
     "OBS_ENV",
@@ -57,8 +67,12 @@ __all__ = [
     "TRACE_SCHEMA",
     "REPORT_SCHEMA",
     "METRICS_SCHEMA",
+    "HOSTPROF_SCHEMA",
+    "HARNESS_PROF",
+    "HostProfiler",
     "chrome_trace",
     "merge_traces",
     "per_label_table",
     "point_report",
+    "vector_engagement",
 ]

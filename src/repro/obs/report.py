@@ -37,6 +37,23 @@ def per_label_table(stats) -> Dict[str, dict]:
     }
 
 
+def vector_engagement(stats) -> dict:
+    """How much of a run the vector backend's epochs actually covered —
+    ``None``-safe only in the sense that callers should gate on
+    ``stats.host_backend == "vector"`` first. The same block the
+    throughput benchmark records, so one artifact carries both the
+    simulated telemetry and the host-side engagement picture."""
+    return {
+        "epochs": stats.host_vector_epochs,
+        "epoch_ops": stats.host_vector_epoch_ops,
+        "fused_txs": stats.host_vector_fused_txs,
+        "kernel_reductions": stats.host_vector_kernel_reductions,
+        "gated": bool(stats.host_vector_gated),
+        "fence_causes": {k: int(v) for k, v in
+                         sorted(stats.host_vector_fence_causes.items())},
+    }
+
+
 def _rate(value, digits: int, none=None):
     """Round a host rate for the report, passing through the non-numeric
     forms (``None`` -> ``none``, "n/a (vector)" unchanged)."""
@@ -74,12 +91,18 @@ def point_report(result) -> dict:
             "runahead_ops_per_batch": _rate(stats.runahead_ops_per_batch, 3),
         },
     }
+    if stats.host_backend == "vector":
+        out["host"]["vector_engagement"] = vector_engagement(stats)
     obs = result.info.get("obs") if isinstance(result.info, dict) else None
     if obs is not None:
         out["lifecycle"] = obs["lifecycle"]["summary"]
         out["abort_attribution"] = obs["lifecycle"]["abort_attribution"]
         out["hot_lines"] = obs["metrics"]["hot_lines"]
         out["obs_per_label_touches"] = obs["metrics"]["per_label"]
+        # Host-side self-profile (repro-obs-hostprof/1): absent on
+        # payloads written before the hostprof section existed.
+        if "hostprof" in obs:
+            out["hostprof"] = obs["hostprof"]
     return out
 
 
@@ -117,4 +140,5 @@ def metrics_report(experiment: str, results: List) -> dict:
 
 
 __all__ = ["METRICS_SCHEMA", "REPORT_SCHEMA", "metrics_report",
-           "per_label_table", "point_report", "run_report"]
+           "per_label_table", "point_report", "run_report",
+           "vector_engagement"]

@@ -71,10 +71,28 @@ small and doubles every time an epoch attempt fails, so irregular regions
 run-ahead execution instead of thrashing on failed certifications.
 
 Epochs batch per-op work, so anything that must see every operation —
-the coherence sanitizer, the obs layer, the Perfetto tracer, the
-``REPRO_NO_FASTPATH`` / ``REPRO_NO_RUNAHEAD`` reference modes, lazy
-conflict detection — forces the whole run down the interpreted engine,
-with a logged notice (never a silently unchecked epoch).
+the coherence sanitizer, the Perfetto tracer, the ``REPRO_NO_FASTPATH``
+/ ``REPRO_NO_RUNAHEAD`` reference modes, lazy conflict detection —
+forces the whole run down the interpreted engine, with a logged notice
+(never a silently unchecked epoch).
+
+**Observability** (``REPRO_OBS``) is the exception: the obs layer *is*
+vector-native. Strict phases reuse the interpreted hooks verbatim (obs
+disables the interpreted fast path, so every strict access passes the
+full handlers); certified K_PROTO / K_FMISS accesses run the real
+handlers with ``Requester.now`` set, so touch/NACK/reduction/gather
+metrics fire naturally; epoch fast hits and fused transactions
+*synthesize* the emissions the interpreted run would have made — one
+touch per access, a begin span at the strict begin cycle, and a commit
+record **deferred** to its closed-form commit cycle (commit emissions
+sample machine-wide counters, so they must fire at their exact strict
+``(cycle, core)`` position, after every earlier event's mutations; see
+:meth:`VectorEngine._fire_deferred_obs`). The engine additionally feeds
+a dedicated vector lane (epoch spans, certifier mispredicts, gate
+rebinds, drain regions) and the host self-profiler
+(:mod:`repro.obs.hostprof`) — both outside the per-core payload the
+parity oracle compares. ``tests/test_vector_obs_parity.py`` proves the
+resulting obs payload identical to the interpreted run's.
 """
 
 from __future__ import annotations
@@ -230,9 +248,41 @@ class VectorEngine(Engine):
         # collect the sharer lines and fold them in one numpy pass
         # (bit-identical words and charge; see kernels.reduce_lines).
         msys.reduction_kernel = self._reduction_kernel
+        #: Synthesized commit emissions awaiting their strict positions:
+        #: a heapq of ``(cycle, core, committed_cycles, reads, writes,
+        #: labeled, attempt)``. Commit emissions sample machine-wide
+        #: counters, so a fused transaction's commit — executed eagerly
+        #: at its heap pop — may only *emit* once every record ordered
+        #: before ``(cycle, core)`` has run. Always empty when no
+        #: Observer is installed, so the hot loops' guard is one local
+        #: truthiness test.
+        self._obs_deferred: List[tuple] = []
+        #: Host-side phase accountant (None ~ obs off: the hot loops
+        #: never look it up per op, only per phase boundary).
+        self._prof = self._obs.hostprof if self._obs is not None else None
+
+    def _fire_deferred_obs(self, t: int, core: int) -> None:
+        """Emit every deferred synthesized commit whose strict position
+        ``(cycle, core)`` does not follow the event about to execute at
+        ``(t, core)``. The tie (same cycle, same core) fires first: a
+        commit emission precedes the same core's next operation in
+        program order. Cross-core ties resolve by core index, exactly
+        the strict scheduler's ``(stamp, core)`` tie-break."""
+        deferred = self._obs_deferred
+        fire = self._obs.fused_tx_commit
+        heappop = heapq.heappop
+        while deferred and (deferred[0][0], deferred[0][1]) <= (t, core):
+            e = heappop(deferred)
+            fire(e[1], e[0], e[2], e[3], e[4], e[5], e[6])
 
     def _reduction_kernel(self, label, rows):
-        out = reduce_lines(label, rows)
+        prof = self._prof
+        if prof is None:
+            out = reduce_lines(label, rows)
+        else:
+            t0 = prof.start()
+            out = reduce_lines(label, rows)
+            prof.stop("kernel", t0)
         if out is not None:
             self.stats.host_vector_kernel_reductions += 1
         return out
@@ -243,8 +293,6 @@ class VectorEngine(Engine):
         machine = self.machine
         if getattr(machine, "sanitizer", None) is not None:
             return "coherence sanitizer installed (REPRO_SANITIZE)"
-        if self._obs is not None:
-            return "observer installed (REPRO_OBS)"
         if self._tracing:
             return "tracing enabled"
         if not fastpath_enabled():
@@ -258,10 +306,13 @@ class VectorEngine(Engine):
     def run(self) -> None:
         reason = self._epochs_disabled_reason()
         if reason is not None:
-            # Epochs batch per-op work; per-op layers (sanitizer, obs,
+            # Epochs batch per-op work; per-op layers (sanitizer,
             # tracer, the reference escape hatches) must see every
             # operation, so the whole run goes through the interpreted
-            # engine rather than producing unchecked epochs.
+            # engine rather than producing unchecked epochs. The obs
+            # layer is the exception: its emissions are synthesized
+            # (and where order-sensitive, deferred) at their exact
+            # strict positions, so epochs stay on.
             log.info("vector backend: %s; running per-op via the "
                      "interpreted engine", reason)
             super().run()
@@ -272,16 +323,43 @@ class VectorEngine(Engine):
             raise SimulationError("no runnable core but simulation not finished")
         self.stats.parallel_cycles = self.clocks.max_cycle
 
+    def _gated_drain(self, attempts: int, epoch_cycles: int) -> None:
+        """The gate's rebind: mark it on the vector lane (when observing)
+        and run the uninterrupted strict pass, accounted as the ``drain``
+        host phase."""
+        obs = self._obs
+        prof = self._prof
+        if obs is not None:
+            total = sum(self._cycles)
+            obs.vector_gate_rebind(self.clocks.max_cycle, attempts,
+                                   epoch_cycles / total if total else 0.0)
+            heap = self.clocks._heap
+            t0 = heap[0][0] if heap else self.clocks.max_cycle
+        if prof is None:
+            self._strict_drain()
+        else:
+            p0 = prof.start()
+            self._strict_drain()
+            prof.stop("drain", p0)
+        if obs is not None:
+            obs.vector_drain(t0, self.clocks.max_cycle)
+
     def _run_vector(self) -> None:
         burst = _MIN_BURST
         attempts = 0
         epoch_cycles = 0
         gate_pending = True
+        prof = self._prof
         strict = self._strict_stepper()
         next(strict)  # prime: bind the hot locals, park at the first yield
         try:
             while True:
-                n, ecyc, fences = self._run_epoch()
+                if prof is None:
+                    n, ecyc, fences = self._run_epoch()
+                else:
+                    p0 = prof.start()
+                    n, ecyc, fences = self._run_epoch()
+                    prof.stop("epoch", p0)
                 epoch_cycles += ecyc
                 attempts += 1
                 if (gate_pending and attempts == _GATE_EARLY_ATTEMPTS
@@ -293,7 +371,7 @@ class VectorEngine(Engine):
                              "after %d attempts; rebinding to the "
                              "run-ahead loop", attempts)
                     strict.close()  # lands its host counters
-                    self._strict_drain()
+                    self._gated_drain(attempts, epoch_cycles)
                     break
                 if gate_pending and attempts >= _GATE_WARMUP_EPOCHS:
                     # Adaptive backend gate: epoch engagement is the share
@@ -311,7 +389,7 @@ class VectorEngine(Engine):
                                  "the run-ahead loop",
                                  _GATE_MIN_SHARE * 100, attempts)
                         strict.close()
-                        self._strict_drain()
+                        self._gated_drain(attempts, epoch_cycles)
                         break
                 if n == 0:
                     burst = min(burst * 2, _MAX_BURST)
@@ -325,14 +403,30 @@ class VectorEngine(Engine):
                 # at least one op per fenced event so the whole wave
                 # replays as one sorted batch instead of one epoch
                 # attempt per event.
-                if not strict.send(max(burst, fences)):
+                if prof is None:
+                    more = strict.send(max(burst, fences))
+                else:
+                    p0 = prof.start()
+                    more = strict.send(max(burst, fences))
+                    prof.stop("strict", p0)
+                if not more:
                     break
         finally:
             strict.close()  # run its ``finally`` so host counters land
+            if self._obs_deferred:
+                # Commits whose strict emission position lies past the
+                # last executed event (the run's tail): nothing can
+                # precede them anymore, so flush in heap order.
+                self._fire_deferred_obs(self.clocks.max_cycle + 1, -1)
             # One deferred flush: nothing reads the columns' Stats fields
             # mid-run, so per-epoch flushes would only add numpy overhead
             # to short epochs.
-            self._cols.flush(self.stats)
+            if prof is None:
+                self._cols.flush(self.stats)
+            else:
+                p0 = prof.start()
+                self._cols.flush(self.stats)
+                prof.stop("stats_reduce", p0)
 
     # ------------------------------------------------------------------
     # Epoch phase
@@ -365,7 +459,19 @@ class VectorEngine(Engine):
         finished = _FINISHED
         classify = self._classify
         self._fused_ok.clear()
-        fc = self._cols.fence_causes
+        obs = self._obs
+        deferred = self._obs_deferred
+        if obs is None:
+            fc = self._cols.fence_causes
+        else:
+            # Fresh per-epoch histogram so the epoch's trace span can be
+            # annotated with *its own* fence causes; merged into the
+            # run-wide dict at the end of the attempt.
+            fc = {}
+        #: Epoch trace span bounds (observing only): first executed pop
+        #: time, max clock reached by an executed record.
+        ep_t0 = -1
+        ep_end = 0
         fences = 0
 
         heap: List[list] = []  # [start, core, rec] — min-start order
@@ -433,6 +539,16 @@ class VectorEngine(Engine):
                 # so the post-loop sweep sees this record too.
                 heappush(heap, item)
                 break
+            if obs is not None:
+                if ep_t0 < 0:
+                    ep_t0 = t
+                if deferred and (deferred[0][0],
+                                 deferred[0][1]) <= (t, item[1]):
+                    # A synthesized commit's strict position precedes
+                    # this record: emit it first (counter samples read
+                    # machine-wide state, which is now exactly what the
+                    # interpreted run would have seen at that point).
+                    self._fire_deferred_obs(t, item[1])
             rec = item[2]
             runner, core, dur, kind, op, data, tx = rec
 
@@ -465,6 +581,25 @@ class VectorEngine(Engine):
                         if fence is None or t < fence:
                             fence = t
                         break
+                if obs is not None:
+                    # Synthesize what the interpreted run would emit: the
+                    # begin span at the strict begin cycle t (the ts this
+                    # record "draws" is the pre-bump _next_ts), one touch
+                    # per labeled access (aggregate metrics, order-free),
+                    # and the commit record deferred to its closed-form
+                    # commit cycle t + dur - commit, where it interleaves
+                    # with other cores' emissions in strict order. Spec
+                    # sizes are constants: 2n labeled hits on one private
+                    # line set exactly spec_labeled -> (0, 0, 1).
+                    obs.fused_tx_begin(core, t, htm._next_ts)
+                    touch = obs.touch
+                    line_no = entry.line
+                    for _ in range(2 * len(deltas)):
+                        touch(line_no, label)
+                    commit = self._tx_commit_cycles
+                    heappush(deferred,
+                             (t + dur - commit, core, dur - commit,
+                              0, 0, 1, 1))
                 cache.touch(entry.line)
                 entry.words = words = list(entry.words)
                 j = idx0
@@ -540,13 +675,19 @@ class VectorEngine(Engine):
                         cols.pred_hits += 1
                     else:
                         cols.pred_misses += 1
+                        if obs is not None:
+                            obs.vector_mispredict(core, t, op.addr // 64,
+                                                  pred, dur)
                 proto_mutated = True
                 self._fused_ok.clear()
             elif kind == K_BEGIN:
-                # Clone of _op_atomic's outermost branch (tracing and obs
-                # are off whenever epochs run). The timestamp draw happens
-                # here, in heap-pop order — the strict scheduler's order.
+                # Clone of _op_atomic's outermost branch (tracing is off
+                # whenever epochs run). The timestamp draw happens here,
+                # in heap-pop order — the strict scheduler's order — and
+                # so does the begin emission.
                 tx = htm.begin(core, ts=op.ts)
+                if obs is not None:
+                    obs.tx_begin(core, t, tx)
                 breakdown[core].tx_committed += dur
                 tx.cycles_this_attempt += dur
                 gen = op.fn(runner.ctx, *op.args)
@@ -557,11 +698,16 @@ class VectorEngine(Engine):
                     fc["commit_revoked"] = fc.get("commit_revoked", 0) + 1
                     fences += 1
                     break
-                # Clone of _finish_frame's commit path (obs and tracing
-                # off; eager detection, so no lazy publication).
+                # Clone of _finish_frame's commit path (tracing off;
+                # eager detection, so no lazy publication). The commit
+                # emission runs before htm.commit — commit_all clears
+                # the spec bits the hook reads — at this record's pop
+                # time, which *is* its strict emission position.
                 frames = runner.frames
                 frames.pop()
                 runner.send = frames[-1].gen.send
+                if obs is not None:
+                    obs.tx_commit(core, t, tx)
                 htm.commit(core)
                 breakdown[core].tx_committed += dur
                 runner.pending_value = data  # the frame's StopIteration value
@@ -597,6 +743,8 @@ class VectorEngine(Engine):
                 # this same epoch.
                 nt = cycles[core]
                 epoch_cycles += nt - t
+                if obs is not None and nt > ep_end:
+                    ep_end = nt
                 if heap:  # defensive: fall back to fencing the release
                     fences += 1
                     if fence is None or nt < fence:
@@ -622,12 +770,16 @@ class VectorEngine(Engine):
                 # No frame is pushed — generator creation is deferred to
                 # the fallback path, where it is still side-effect free.
                 tx = htm.begin(core, ts=op.ts)
+                if obs is not None:
+                    obs.tx_begin(core, t, tx)
                 breakdown[core].tx_committed += dur
                 tx.cycles_this_attempt += dur
                 nt = t + dur
                 cycles[core] = nt
                 epoch_ops += 1
                 epoch_cycles += dur
+                if obs is not None and nt > ep_end:
+                    ep_end = nt
                 item[0] = nt
                 item[2] = [runner, core, 0, K_FMISS_BODY, op, data, tx]
                 if heap and (heap[0][0] < nt
@@ -696,6 +848,23 @@ class VectorEngine(Engine):
                 by_label[name] = by_label.get(name, 0) + n2
                 breakdown[core].tx_committed += dur
                 tx.cycles_this_attempt += dur
+                if obs is not None:
+                    # The real labeled_load above fired its own touch;
+                    # synthesize the remaining 2n-1 closed-form hits.
+                    # Spec sizes must be read before htm.commit clears
+                    # the bits; the commit record itself is deferred to
+                    # its strict emission position t + dur - commit.
+                    # Unlike the interpreted run, cycles_this_attempt
+                    # here includes the commit charge — subtract it.
+                    touch = obs.touch
+                    for _ in range(n2 - 1):
+                        touch(line_no, plan.label)
+                    reads, writes, labeled_n = obs._spec_sizes(core)
+                    commit = self._tx_commit_cycles
+                    heappush(deferred,
+                             (t + dur - commit, core,
+                              tx.cycles_this_attempt - commit,
+                              reads, writes, labeled_n, tx.attempts))
                 htm.commit(core)  # commit_all clears the spec residue
                 tx = None
                 runner.pending_value = plan.value
@@ -704,6 +873,9 @@ class VectorEngine(Engine):
                     cols.pred_hits += 1
                 else:
                     cols.pred_misses += 1
+                    if obs is not None:
+                        obs.vector_mispredict(core, t, line_no, pred,
+                                              res.cycles)
                 fused_txs += 1
                 proto_mutated = True
                 self._fused_ok.clear()
@@ -728,6 +900,15 @@ class VectorEngine(Engine):
                     fc["fast_revoked"] = fc.get("fast_revoked", 0) + 1
                     fences += 1
                     break
+                if obs is not None:
+                    # The fast paths carry no hooks; the interpreted run
+                    # under obs takes the full handlers, which touch the
+                    # line once per access (with the label only when the
+                    # access routed as labeled).
+                    if kind == K_LOAD or kind == K_STORE:
+                        obs.touch(op.addr // 64)
+                    else:
+                        obs.touch(op.addr // 64, op.label)
                 if kind == K_LOAD or kind == K_LLOAD:
                     value, dur = fast
                     runner.pending_value = value
@@ -748,6 +929,8 @@ class VectorEngine(Engine):
             runner.pulled = None
             epoch_ops += 1
             epoch_cycles += dur
+            if obs is not None and nt > ep_end:
+                ep_end = nt
 
             # --- pull and classify this core's next op ------------------
             # A non-local pull fences this core at its new time
@@ -826,6 +1009,13 @@ class VectorEngine(Engine):
                 rn.pulled = None
                 rn.pending_value = None
 
+        if obs is not None:
+            if epoch_ops:
+                obs.vector_epoch(ep_t0, max(ep_end, ep_t0) - ep_t0,
+                                 epoch_ops, fences, fc)
+            gfc = self._cols.fence_causes
+            for cause, count in fc.items():
+                gfc[cause] = gfc.get(cause, 0) + count
         if epoch_ops:
             stats = self.stats
             stats.host_vector_epochs += 1
@@ -1138,6 +1328,8 @@ class VectorEngine(Engine):
         heappushpop = heapq.heappushpop
         heappush = heapq.heappush
         finished = _FINISHED
+        deferred = self._obs_deferred  # always [] when obs is off
+        fire_deferred = self._fire_deferred_obs
         batches = 0
         ops = 0
         spent = 0
@@ -1176,6 +1368,11 @@ class VectorEngine(Engine):
                     while True:
                         ops += 1
                         spent += 1
+                        if deferred and (deferred[0][0], deferred[0][1]) \
+                                <= (cycles[core], core):
+                            # A fused commit synthesized by an earlier
+                            # epoch emits at this strict position.
+                            fire_deferred(cycles[core], core)
                         tx = tx_active[core]
                         if tx is not None and tx.aborted:
                             # A held pulled op belongs to the generator
@@ -1258,6 +1455,8 @@ class VectorEngine(Engine):
         heappop = heapq.heappop
         heappushpop = heapq.heappushpop
         finished = _FINISHED
+        deferred = self._obs_deferred  # always [] when obs is off
+        fire_deferred = self._fire_deferred_obs
         batches = 0
         ops = 0
 
@@ -1282,6 +1481,11 @@ class VectorEngine(Engine):
             batches += 1
             while True:
                 ops += 1
+                if deferred and (deferred[0][0], deferred[0][1]) \
+                        <= (cycles[core], core):
+                    # A fused commit synthesized by an earlier epoch
+                    # emits at this strict position.
+                    fire_deferred(cycles[core], core)
                 tx = tx_active[core]
                 if tx is not None and tx.aborted:
                     runner.pulled = None

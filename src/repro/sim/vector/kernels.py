@@ -20,7 +20,10 @@ fast path:
   tx_commit_cycles`` — every access L1-hits because L1 residency is part
   of plan validation;
 * the HTM timestamp counter advances by one (a committed transaction's
-  timestamp is unobservable, only the counter's final value matters).
+  timestamp is unobservable to the *simulation*, only the counter's final
+  value matters; the observer, when installed, reads the pre-bump value as
+  the synthesized begin span's ``ts`` — exactly what ``htm.begin`` would
+  have drawn).
 
 Speculative read/write bits are *not* set: commit would clear them in the
 same closed-form step, and during an epoch no other core can observe them

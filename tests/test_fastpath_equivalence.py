@@ -13,6 +13,7 @@ import pytest
 
 from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.harness.runner import run_workload
+from repro.obs import OBS_ENV
 from repro.sim.engine import NO_FASTPATH_ENV, fastpath_enabled
 from repro.workloads.micro import (counter, linked_list, ordered_put,
                                    refcount, topk)
@@ -38,7 +39,11 @@ def _run(build, *, commtm, seed, no_fastpath, monkeypatch, sanitize=False):
     # Pinned to the interpreted engine: this file differentially tests
     # *its* fast path, and asserts its host counters, which the vector
     # backend reports as "n/a (vector)". The vector backend has its own
-    # oracle in tests/test_vector_equivalence.py.
+    # oracle in tests/test_vector_equivalence.py. Obs is pinned off too:
+    # an ambient REPRO_OBS=1 (the CI obs x vector leg exports it
+    # suite-wide) deliberately disables the interpreted fast path, which
+    # would contradict the hit-count assertions below.
+    monkeypatch.delenv(OBS_ENV, raising=False)
     return run_workload(build, 4, num_cores=16, commtm=commtm, seed=seed,
                         total_ops=240, backend="interp")
 

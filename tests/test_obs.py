@@ -55,7 +55,8 @@ def _run(build, *, commtm, seed=1, observe=False, monkeypatch):
     # Pinned to the interpreted engine: these tests assert its host-side
     # instrumentation (fast-path hit rates, run-ahead batching) which the
     # vector backend reports as "n/a (vector)". The vector x obs
-    # composition is covered by tests/test_vector_equivalence.py.
+    # composition — identical payloads across backends — is covered by
+    # tests/test_vector_obs_parity.py.
     return run_workload(build, 4, num_cores=16, commtm=commtm, seed=seed,
                         total_ops=240, backend="interp")
 
@@ -326,6 +327,8 @@ def test_cli_writes_versioned_artifacts(tmp_path, monkeypatch):
 @pytest.mark.parametrize("commtm", [True, False], ids=["commtm", "baseline"])
 @pytest.mark.parametrize("name", sorted(MICROS))
 def test_obs_is_bit_identical(name, commtm, monkeypatch):
+    # Interpreted engine only; tests/test_vector_obs_parity.py holds the
+    # vector backend to the same bar plus payload equality.
     build = MICROS[name]
     plain = _run(build, commtm=commtm, monkeypatch=monkeypatch)
     observed = _run(build, commtm=commtm, observe=True,

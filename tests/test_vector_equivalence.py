@@ -14,11 +14,14 @@ plus a randomized op mix, and compare per-thread cycles,
 same differential oracle the run-ahead scheduler is held to in
 tests/test_runahead_equivalence.py.
 
-Composition is covered too: the per-op layers (coherence sanitizer, obs)
-force the vector engine to delegate whole runs to the interpreted path
-with a logged notice, so ``REPRO_SANITIZE=1``/``REPRO_OBS=1`` plus
-``backend="vector"`` must still be bit-identical *and* report zero
-epochs.
+Composition is covered too. The coherence sanitizer is a per-op layer:
+``REPRO_SANITIZE=1`` plus ``backend="vector"`` forces delegation to the
+interpreted path with a logged notice (bit-identical, zero epochs). The
+obs layer is *vector-native*: ``REPRO_OBS=1`` keeps the epochs engaged
+and the engine synthesizes the interpreted path's emissions at their
+exact strict positions — the full payload-equality matrix lives in
+``tests/test_vector_obs_parity.py``; here we assert the engagement and
+stats parity.
 """
 
 import logging
@@ -185,21 +188,34 @@ def test_random_mix_parity(commtm, seed, monkeypatch):
     _assert_parity(interp, vector)
 
 
-@pytest.mark.parametrize("mode", ["obs", "sanitize"])
-def test_vector_composes_with_obs_and_sanitize(mode, monkeypatch, caplog):
-    """REPRO_SANITIZE/REPRO_OBS are per-op layers: combined with the
-    vector backend the whole run must delegate to the interpreted path
-    (zero epochs), say so in the log, and stay bit-identical."""
-    kwargs = {"sanitize": mode == "sanitize", "observe": mode == "obs"}
+def test_vector_composes_with_sanitize(monkeypatch, caplog):
+    """REPRO_SANITIZE is a per-op layer: combined with the vector backend
+    the whole run must delegate to the interpreted path (zero epochs),
+    say so in the log, and stay bit-identical."""
     interp = _run(MICROS["counter"], backend="interp", commtm=True, seed=1,
-                  monkeypatch=monkeypatch, **kwargs)
+                  monkeypatch=monkeypatch, sanitize=True)
     with caplog.at_level(logging.INFO, logger="repro.sim.vector"):
         vector = _run(MICROS["counter"], backend="vector", commtm=True,
-                      seed=1, monkeypatch=monkeypatch, **kwargs)
+                      seed=1, monkeypatch=monkeypatch, sanitize=True)
     _assert_parity(interp, vector)
     assert vector.stats.host_backend == "vector"
     assert vector.stats.host_vector_epochs == 0
     assert any("interpreted engine" in r.message for r in caplog.records)
+
+
+def test_vector_composes_with_obs(monkeypatch):
+    """REPRO_OBS is vector-native: epochs stay engaged under observation
+    and the simulated results remain bit-identical. (Payload equality
+    across every workload is tests/test_vector_obs_parity.py's job.)"""
+    interp = _run(MICROS["counter"], backend="interp", commtm=True, seed=1,
+                  monkeypatch=monkeypatch, observe=True)
+    vector = _run(MICROS["counter"], backend="vector", commtm=True, seed=1,
+                  monkeypatch=monkeypatch, observe=True)
+    _assert_parity(interp, vector)
+    assert vector.stats.host_backend == "vector"
+    assert vector.stats.host_vector_epochs > 0
+    assert vector.stats.host_vector_epoch_ops > 0
+    assert vector.info["obs"] is not None
 
 
 @pytest.mark.parametrize("env", [NO_FASTPATH_ENV, NO_RUNAHEAD_ENV])

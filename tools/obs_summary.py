@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Render an observability hostprof artifact as a Markdown summary.
+
+Reads a ``repro-obs-hostprof/1`` JSON file (written by ``python -m
+repro.harness ... --hostprof-out``), prints a phase-accounting table to
+stdout, and appends the same table to ``$GITHUB_STEP_SUMMARY`` when that
+variable is set — so the CI bench-smoke leg surfaces where host time goes
+(simulate vs verify vs build; epoch classify vs kernel exec vs strict
+stepping on the vector backend) without anyone downloading the artifact.
+
+Optionally takes a ``--report`` run-report JSON (``repro-obs-report/1``)
+and adds each point's vector-engagement block (epochs, fused txs, kernel
+reductions, gate state) next to its host phases.
+
+Usage::
+
+    python tools/obs_summary.py obs-hostprof.json [--report obs-report.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _fmt_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.1f}ms"
+    return f"{ns / 1e3:.0f}µs"
+
+
+def _phase_rows(section: dict) -> list:
+    phases = section.get("phases", {})
+    order = sorted(phases.items(), key=lambda kv: -kv[1]["ns"])
+    return [(name, p["ns"], p["calls"], p["share"]) for name, p in order]
+
+
+def _engagement_by_point(report: dict) -> dict:
+    out = {}
+    for point in report.get("points", []):
+        host = point.get("host", {})
+        if "vector_engagement" in host:
+            # Same label format as harness.artifacts.point_label, so the
+            # block lands next to the matching hostprof section.
+            system = "commtm" if point.get("commtm") else "baseline"
+            label = (f"{point.get('name', '?')} "
+                     f"t={point.get('num_threads', '?')} {system}")
+            out[label] = host["vector_engagement"]
+    return out
+
+
+def render(doc: dict, engagement: dict) -> list:
+    lines = [
+        "## Observability: host phase accounting",
+        "",
+        f"experiment: **{doc.get('experiment', '?')}** "
+        f"(`{doc.get('schema', '?')}`)",
+        "",
+    ]
+
+    harness = doc.get("harness", {})
+    if harness.get("phases"):
+        lines += [
+            "### Harness",
+            "",
+            "| phase | wall | calls | share |",
+            "|---|---:|---:|---:|",
+        ]
+        for name, ns, calls, share in _phase_rows(harness):
+            lines.append(f"| {name} | {_fmt_ns(ns)} | {calls} "
+                         f"| {share:.1%} |")
+        lines.append("")
+
+    for point in doc.get("points", []):
+        name = point.get("name", "?")
+        section = point.get("hostprof", {})
+        lines += [
+            f"### {name}",
+            "",
+            "| phase | wall | calls | share |",
+            "|---|---:|---:|---:|",
+        ]
+        for pname, ns, calls, share in _phase_rows(section):
+            lines.append(f"| {pname} | {_fmt_ns(ns)} | {calls} "
+                         f"| {share:.1%} |")
+        eng = engagement.get(name)
+        if eng:
+            causes = ", ".join(f"{k}={v}" for k, v in
+                               sorted(eng.get("fence_causes", {}).items())) \
+                or "none"
+            lines += [
+                "",
+                f"vector engagement: {eng.get('epochs', 0)} epoch(s), "
+                f"{eng.get('epoch_ops', 0)} op(s), "
+                f"{eng.get('fused_txs', 0)} fused tx(s), "
+                f"{eng.get('kernel_reductions', 0)} kernel reduction(s), "
+                f"gated={'yes' if eng.get('gated') else 'no'}; "
+                f"fences: {causes}",
+            ]
+        lines.append("")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Markdown summary of a repro-obs-hostprof/1 artifact.")
+    parser.add_argument("hostprof", help="hostprof JSON (--hostprof-out)")
+    parser.add_argument("--report", default=None,
+                        help="optional run-report JSON (--report-json) for "
+                             "per-point vector-engagement blocks")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.hostprof) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"obs_summary: cannot read {args.hostprof}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    engagement = {}
+    if args.report:
+        try:
+            with open(args.report) as fh:
+                engagement = _engagement_by_point(json.load(fh))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"obs_summary: cannot read {args.report}: {exc} "
+                  "(continuing without engagement)", file=sys.stderr)
+
+    lines = render(doc, engagement)
+    print("\n".join(lines))
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
